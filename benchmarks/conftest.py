@@ -1,0 +1,93 @@
+"""Shared machinery for the benchmark suite.
+
+Each benchmark module regenerates one table or figure from the paper's
+evaluation (§4). Several artefacts derive from the same scenario run (e.g.
+Table 1, Table 2 and Figure 6 all come from hybrid-A consolidation), so the
+scenario executions are cached per session: the first benchmark that needs a
+scenario pays for it, the others reuse the results.
+
+Absolute numbers are simulator-scale; the assertions check the paper's
+*qualitative shapes* — who aborts, who has downtime, who stays flat.
+"""
+
+import pytest
+
+from repro.experiments.common import APPROACH_ORDER
+
+_cache = {}
+
+
+def cached(key, factory):
+    if key not in _cache:
+        _cache[key] = factory()
+    return _cache[key]
+
+
+@pytest.fixture(scope="session")
+def hybrid_a_results():
+    from repro.experiments.consolidation import run_hybrid_a
+
+    def factory():
+        return {a: run_hybrid_a(a) for a in APPROACH_ORDER}
+
+    return cached("hybrid_a", factory)
+
+
+@pytest.fixture(scope="session")
+def hybrid_b_results():
+    from repro.experiments.consolidation import run_hybrid_b
+
+    def factory():
+        return {a: run_hybrid_b(a) for a in APPROACH_ORDER}
+
+    return cached("hybrid_b", factory)
+
+
+@pytest.fixture(scope="session")
+def load_balancing_results():
+    from repro.experiments.load_balancing import run_load_balancing
+
+    def factory():
+        return {a: run_load_balancing(a) for a in APPROACH_ORDER}
+
+    return cached("load_balancing", factory)
+
+
+@pytest.fixture(scope="session")
+def scale_out_results():
+    from repro.experiments.scale_out import run_scale_out
+
+    def factory():
+        return {
+            a: run_scale_out(a)
+            for a in ("remus", "lock_and_abort", "wait_and_remaster")
+        }
+
+    return cached("scale_out", factory)
+
+
+@pytest.fixture(scope="session")
+def high_contention_result():
+    from repro.experiments.high_contention import run_high_contention
+
+    return cached("high_contention", lambda: run_high_contention("remus"))
+
+
+def print_figure(title, results, markers_from=None):
+    """Render one timeline per approach under a shared title."""
+    from repro.metrics.report import render_series
+
+    lines = ["", "=" * 72, title, "=" * 72]
+    for approach, result in results.items():
+        start, end = result.migration_window
+        markers = {}
+        if start is not None:
+            markers[start] = "<mig"
+        if end is not None:
+            markers[end] = "mig>"
+        lines.append(
+            render_series(
+                "-- {} --".format(approach), result.throughput, unit="/s", markers=markers
+            )
+        )
+    print("\n".join(lines))

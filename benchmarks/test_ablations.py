@@ -1,0 +1,141 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These are not paper artefacts; they quantify why the design is the way it
+is: parallel replay (§3.6), prepare-wait (§2.2), dual execution (vs
+stop-and-copy), cache read-through (§3.5.1) and DTS vs GTS (§2.2).
+"""
+
+from repro.experiments.ablations import (
+    run_cache_read_through_ablation,
+    run_counter_correctness,
+    run_downtime_ablation,
+    run_parallel_replay_ablation,
+    run_timestamp_scheme_ablation,
+)
+from repro.metrics.report import render_table
+
+
+def test_ablation_parallel_replay(benchmark):
+    def run():
+        serial = run_parallel_replay_ablation(parallelism=1)
+        parallel = run_parallel_replay_ablation(parallelism=18)
+        return serial, parallel
+
+    serial, parallel = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            "Ablation — transaction-level parallel replay (§3.6)",
+            ["replay slots", "catch-up+transfer (s)", "avg sync wait (ms)", "applied"],
+            [
+                [s["parallelism"], "{:.3f}".format(s["duration"]),
+                 "{:.3f}".format(s["avg_sync_wait"] * 1e3), s["records_applied"]]
+                for s in (serial, parallel)
+            ],
+        )
+    )
+    # Parallel replay never loses to serial on sync-wait latency.
+    assert parallel["avg_sync_wait"] <= serial["avg_sync_wait"] * 1.1
+    assert parallel["duration"] <= serial["duration"] * 1.1
+
+
+def test_ablation_prepare_wait(benchmark):
+    def run():
+        safe = run_counter_correctness(prepare_wait=True)
+        unsafe = run_counter_correctness(prepare_wait=False)
+        return safe, unsafe
+
+    safe, unsafe = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            "Ablation — the prepare-wait mechanism (§2.2)",
+            ["prepare-wait", "committed increments", "final sum", "lost updates"],
+            [
+                ["on", safe["committed"], safe["final_sum"], safe["lost_updates"]],
+                ["off", unsafe["committed"], unsafe["final_sum"], unsafe["lost_updates"]],
+            ],
+        )
+    )
+    # With prepare-wait, SI holds exactly: no lost updates, ever.
+    assert safe["lost_updates"] == 0
+    # Without it, updates are lost (the reader misses prepared writes whose
+    # commit timestamp precedes its snapshot).
+    assert unsafe["lost_updates"] > 0
+
+
+def test_ablation_dual_execution_downtime(benchmark):
+    from repro.migration import RemusMigration, StopAndCopyMigration
+
+    def run():
+        remus = run_downtime_ablation(RemusMigration)
+        stop_copy = run_downtime_ablation(StopAndCopyMigration)
+        return remus, stop_copy
+
+    remus, stop_copy = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            "Ablation — dual execution vs stop-and-copy (downtime axis)",
+            ["approach", "longest downtime (s)", "total (s)", "migration aborts"],
+            [
+                ["remus", "{:.3f}".format(remus["downtime_longest"]),
+                 "{:.3f}".format(remus["downtime_total"]), remus["migration_aborts"]],
+                ["stop_and_copy", "{:.3f}".format(stop_copy["downtime_longest"]),
+                 "{:.3f}".format(stop_copy["downtime_total"]),
+                 stop_copy["migration_aborts"]],
+            ],
+        )
+    )
+    assert remus["downtime_longest"] < 0.2
+    assert stop_copy["downtime_longest"] > remus["downtime_longest"]
+
+
+def test_ablation_cache_read_through(benchmark):
+    def run():
+        with_rt = run_cache_read_through_ablation(use_read_through=True)
+        without_rt = run_cache_read_through_ablation(use_read_through=False)
+        return with_rt, without_rt
+
+    with_rt, without_rt = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            "Ablation — cache read-through during ordered diversion (§3.5.1)",
+            ["read-through", "committed", "final sum", "lost", "routing errors"],
+            [
+                ["on", with_rt["committed"], with_rt["final_sum"],
+                 with_rt["lost_updates"], with_rt["routing_errors"]],
+                ["off", without_rt["committed"], without_rt["final_sum"],
+                 without_rt["lost_updates"], without_rt["routing_errors"]],
+            ],
+        )
+    )
+    # With read-through the migration is exactly correct.
+    assert with_rt["lost_updates"] == 0 and with_rt["routing_errors"] == 0
+    # Without it, the stale-cache window corrupts the workload.
+    assert without_rt["lost_updates"] > 0 or without_rt["routing_errors"] > 0
+
+
+def test_ablation_gts_vs_dts(benchmark):
+    def run():
+        dts = run_timestamp_scheme_ablation("dts")
+        gts = run_timestamp_scheme_ablation("gts")
+        return dts, gts
+
+    dts, gts = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            "Ablation — decentralized (DTS) vs centralized (GTS) timestamps",
+            ["scheme", "throughput (txn/s)", "avg latency (ms)"],
+            [
+                [s["scheme"], "{:.0f}".format(s["throughput"]),
+                 "{:.3f}".format(s["avg_latency"] * 1e3)]
+                for s in (dts, gts)
+            ],
+        )
+    )
+    # DTS outperforms the sequencer (the paper runs everything on DTS).
+    assert dts["throughput"] > gts["throughput"]
+    assert dts["avg_latency"] < gts["avg_latency"]

@@ -1,0 +1,47 @@
+"""Figure 6: YCSB throughput timeline during consolidation, hybrid A (§4.4.1).
+
+Shapes from the paper:
+- (a) Remus: slight variation only; no downtime.
+- (b) wait-and-remaster: sharp drops — down to zero — while the batch
+  transactions run (each migration waits for them).
+- (c) Squall: YCSB near zero while batch inserts hold all shard locks, and a
+  much lower absolute level throughout (shard-lock concurrency control).
+- lock-and-abort: slight variation (it kills the batches instead).
+"""
+
+from conftest import print_figure
+
+
+def test_fig6_ycsb_timeline_hybrid_a(benchmark, hybrid_a_results):
+    def derive():
+        return {
+            approach: {
+                "downtime": result.downtime_longest,
+                "before": result.avg_throughput_before,
+                "during": result.avg_throughput_during,
+            }
+            for approach, result in hybrid_a_results.items()
+        }
+
+    summary = benchmark.pedantic(derive, rounds=1, iterations=1)
+    print_figure(
+        "Figure 6 — YCSB throughput under hybrid workload A during consolidation",
+        hybrid_a_results,
+    )
+    print("summary:", summary)
+
+    remus = hybrid_a_results["remus"]
+    lock = hybrid_a_results["lock_and_abort"]
+    remaster = hybrid_a_results["wait_and_remaster"]
+    squall = hybrid_a_results["squall"]
+
+    # Remus and lock-and-abort: no downtime, marginal throughput variation.
+    assert remus.downtime_longest == 0.0
+    assert remus.avg_throughput_during > 0.9 * remus.avg_throughput_before
+    assert lock.downtime_longest < 1.0
+    assert lock.avg_throughput_during > 0.8 * lock.avg_throughput_before
+    # Wait-and-remaster: zero-throughput troughs while batches run.
+    assert remaster.downtime_longest > 1.0
+    assert remaster.avg_throughput_during < 0.8 * remaster.avg_throughput_before
+    # Squall: much lower absolute YCSB level (shard locks + batch blocking).
+    assert squall.avg_throughput_before < 0.3 * remus.avg_throughput_before

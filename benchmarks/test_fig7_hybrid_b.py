@@ -1,0 +1,55 @@
+"""Figure 7: YCSB throughput timeline during consolidation, hybrid B (§4.4.2).
+
+Shapes from the paper:
+- Remus and lock-and-abort: marginal impact while the analytical transaction
+  runs (it is read-only, so lock-and-abort kills nothing).
+- wait-and-remaster: throughput drops to zero from consolidation start until
+  the analytical transaction completes (ownership transfer waits for it).
+- Squall: YCSB at zero while the analytical transaction holds every shard
+  lock; fluctuation afterwards from migration pulls.
+- The analytical duplicate check finds a consistent database throughout.
+"""
+
+from conftest import print_figure
+
+
+def test_fig7_ycsb_timeline_hybrid_b(benchmark, hybrid_b_results):
+    def derive():
+        return {
+            approach: {
+                "downtime": result.downtime_longest,
+                "analytical_window": result.workload_window,
+                "duplicates": result.extra["duplicates"],
+            }
+            for approach, result in hybrid_b_results.items()
+        }
+
+    summary = benchmark.pedantic(derive, rounds=1, iterations=1)
+    print_figure(
+        "Figure 7 — YCSB throughput under hybrid workload B during consolidation",
+        hybrid_b_results,
+    )
+    print("summary:", summary)
+
+    remus = hybrid_b_results["remus"]
+    lock = hybrid_b_results["lock_and_abort"]
+    remaster = hybrid_b_results["wait_and_remaster"]
+    squall = hybrid_b_results["squall"]
+
+    # Remus / lock-and-abort: marginal impact, no downtime.
+    assert remus.downtime_longest == 0.0
+    assert remus.avg_throughput_during > 0.9 * remus.avg_throughput_before
+    assert lock.downtime_longest < 1.0
+    # Wait-and-remaster: blocked until the analytical txn completes.
+    assert remaster.downtime_longest > 2.0
+    analytical_end = remaster.workload_window[1]
+    migration_start = remaster.migration_window[0]
+    # The zero-throughput stretch spans from migration start toward the
+    # analytical completion.
+    assert analytical_end > migration_start
+    # Squall: drastically lower YCSB while the analytical txn holds locks.
+    assert squall.avg_throughput_during < 0.5 * remus.avg_throughput_during
+    # Consistency: the duplicate-primary-key check passes for everyone.
+    for result in hybrid_b_results.values():
+        assert result.extra["duplicates"] == 0
+        assert result.extra["data_intact"]

@@ -1,0 +1,53 @@
+"""Figure 8: YCSB throughput during load balancing of hotspot shards (§4.5).
+
+Shapes from the paper:
+- Remus, lock-and-abort, wait-and-remaster: throughput increases gradually
+  as hot shards spread over the cluster, with only slight variation.
+- lock-and-abort records thousands of migration-induced aborts (plus some
+  WW-conflicts); Remus and wait-and-remaster record zero.
+- Squall drops considerably and fluctuates (pull blocking + shard-lock
+  contention on the hot shards).
+"""
+
+from conftest import print_figure
+
+
+def test_fig8_load_balancing_timeline(benchmark, load_balancing_results):
+    def derive():
+        return {
+            approach: {
+                "before": result.extra["tput_before"],
+                "after": result.extra["tput_after"],
+                "migration_aborts": result.extra["migration_aborts"],
+            }
+            for approach, result in load_balancing_results.items()
+        }
+
+    summary = benchmark.pedantic(derive, rounds=1, iterations=1)
+    print_figure(
+        "Figure 8 — YCSB throughput during load balancing (hotspot shards)",
+        load_balancing_results,
+    )
+    print("summary:", summary)
+
+    remus = load_balancing_results["remus"]
+    lock = load_balancing_results["lock_and_abort"]
+    remaster = load_balancing_results["wait_and_remaster"]
+    squall = load_balancing_results["squall"]
+
+    # Balancing lifts throughput for the push approaches.
+    for result in (remus, lock, remaster):
+        assert result.extra["tput_after"] > 1.2 * result.extra["tput_before"], (
+            result.approach,
+            result.extra["tput_before"],
+            result.extra["tput_after"],
+        )
+    # Migration-induced aborts: only lock-and-abort (and possibly Squall).
+    assert remus.extra["migration_aborts"] == 0
+    assert remaster.extra["migration_aborts"] == 0
+    assert lock.extra["migration_aborts"] > 0
+    # Squall runs at a much lower absolute level on the hot shards.
+    assert squall.extra["tput_before"] < remus.extra["tput_before"]
+    # Nobody loses data.
+    for result in load_balancing_results.values():
+        assert result.extra["data_intact"]

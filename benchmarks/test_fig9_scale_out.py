@@ -1,0 +1,62 @@
+"""Figure 9: TPC-C throughput during scale-out (§4.6).
+
+Shapes from the paper:
+- All approaches end with higher throughput after the scale-out.
+- Remus shows much smaller throughput variation during the consecutive
+  migrations than lock-and-abort and wait-and-remaster (their ownership
+  transfers block/kill the longer TPC-C transactions).
+- Squall is absent: the port does not support multi-key range partitioning.
+"""
+
+import pytest
+
+from conftest import print_figure
+
+
+def test_fig9_tpcc_scale_out_timeline(benchmark, scale_out_results):
+    def derive():
+        return {
+            approach: {
+                "before": result.extra["tput_before"],
+                "after": result.extra["tput_after"],
+                "stddev_during": result.extra.get("tput_stddev_during", 0.0),
+                "min_during": result.extra.get("tput_min_during", 0.0),
+            }
+            for approach, result in scale_out_results.items()
+        }
+
+    summary = benchmark.pedantic(derive, rounds=1, iterations=1)
+    print_figure(
+        "Figure 9 — TPC-C throughput during scale-out (5 -> 6 nodes)",
+        scale_out_results,
+    )
+    print("summary:", summary)
+
+    remus = scale_out_results["remus"]
+    lock = scale_out_results["lock_and_abort"]
+    remaster = scale_out_results["wait_and_remaster"]
+
+    # Throughput rises after scale-out for every approach.
+    for result in scale_out_results.values():
+        assert result.extra["tput_after"] > result.extra["tput_before"], result.approach
+    # Remus: zero migration-induced aborts; lock-and-abort kills transactions.
+    assert remus.extra["migration_aborts"] == 0
+    assert remaster.extra["migration_aborts"] == 0
+    assert lock.extra["migration_aborts"] > 0
+    # Remus fluctuates less than both baselines during the migrations.
+    remus_cv = remus.extra["tput_stddev_during"] / max(remus.extra["tput_mean_during"], 1e-9)
+    lock_cv = lock.extra["tput_stddev_during"] / max(lock.extra["tput_mean_during"], 1e-9)
+    remaster_cv = remaster.extra["tput_stddev_during"] / max(
+        remaster.extra["tput_mean_during"], 1e-9
+    )
+    assert remus_cv <= lock_cv * 1.15
+    assert remus_cv <= remaster_cv * 1.15
+    # ...and its deepest trough is the shallowest.
+    assert remus.extra["tput_min_during"] >= remaster.extra["tput_min_during"]
+
+
+def test_fig9_squall_unsupported():
+    from repro.experiments.scale_out import run_scale_out
+
+    with pytest.raises(NotImplementedError):
+        run_scale_out("squall")

@@ -1,0 +1,81 @@
+"""Table 3: average latency increase caused by Remus vs lock-and-abort (§4.7).
+
+Paper's rows (ms):
+
+    | workload       | Remus | lock-and-abort | txn latency |
+    | hybrid A       | 1.9   | 27             | 2.1         |
+    | hybrid B       | 1.7   | 33             | 2.1         |
+    | load balancing | 6.6   | 51             | 2.8         |
+    | scale-out      | 4.1   | 94             | 4-15        |
+
+Shape: Remus' latency increase stays within the same order of magnitude as
+the baseline transaction latency; lock-and-abort's is roughly an order of
+magnitude larger than Remus' (blocked writers + replay of final updates +
+the 2PC shard-map update).
+
+The scenario executions are shared with the figure benchmarks via the
+session cache, so this target only derives the table.
+"""
+
+from repro.metrics.report import render_table
+
+_SCENARIOS = (
+    ("hybrid_a", "hybrid_a_results"),
+    ("hybrid_b", "hybrid_b_results"),
+    ("load_balancing", "load_balancing_results"),
+    ("scale_out", "scale_out_results"),
+)
+
+
+def test_table3_latency_increase(
+    benchmark,
+    hybrid_a_results,
+    hybrid_b_results,
+    load_balancing_results,
+    scale_out_results,
+):
+    all_results = {
+        "hybrid_a": hybrid_a_results,
+        "hybrid_b": hybrid_b_results,
+        "load_balancing": load_balancing_results,
+        "scale_out": scale_out_results,
+    }
+
+    def derive():
+        table = {}
+        for scenario, results in all_results.items():
+            table[scenario] = {
+                "remus": results["remus"].latency_increase,
+                "lock_and_abort": results["lock_and_abort"].latency_increase,
+                "baseline": results["remus"].avg_latency_before,
+            }
+        return table
+
+    table = benchmark.pedantic(derive, rounds=1, iterations=1)
+    rows = [
+        [
+            scenario,
+            "{:.3f}".format(row["remus"] * 1e3),
+            "{:.3f}".format(row["lock_and_abort"] * 1e3),
+            "{:.3f}".format(row["baseline"] * 1e3),
+        ]
+        for scenario, row in table.items()
+    ]
+    print()
+    print(
+        render_table(
+            "Table 3 — average latency increase (ms) during migration",
+            ["workload", "Remus", "lock-and-abort", "txn latency"],
+            rows,
+        )
+    )
+
+    for scenario, row in table.items():
+        # Remus' increase stays within ~the baseline latency's order of
+        # magnitude (the paper: 1.7-6.6 ms against 2.1-2.8 ms baselines).
+        assert row["remus"] <= 5 * max(row["baseline"], 1e-4), scenario
+        # lock-and-abort hurts at least as much as Remus everywhere, and
+        # clearly more in at least one scenario.
+    assert any(
+        row["lock_and_abort"] > 2 * row["remus"] + 1e-4 for row in table.values()
+    )

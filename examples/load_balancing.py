@@ -1,0 +1,44 @@
+"""Hotspot load balancing with Remus (the paper's §4.5 scenario).
+
+A skewed YCSB workload hammers the shards of one node; Remus migrates most
+of those hot shards to the other nodes. Throughput rises as the hotspot
+spreads, with zero migration-induced aborts and no downtime.
+
+Run with:  python examples/load_balancing.py
+"""
+
+from repro.experiments.load_balancing import LoadBalancingConfig, run_load_balancing
+from repro.metrics.report import render_series
+
+
+def main():
+    config = LoadBalancingConfig(
+        num_tuples=4000,
+        num_shards=24,
+        ycsb_clients=8,
+        warmup=1.5,
+        settle=2.0,
+        max_sim_time=60.0,
+    )
+    result = run_load_balancing("remus", config)
+    start, end = result.migration_window
+    print(
+        render_series(
+            "YCSB throughput during Remus load balancing "
+            "(migrations {:.1f}s..{:.1f}s)".format(start, end),
+            result.throughput,
+            unit=" txn/s",
+            markers={start: "<", end: ">"},
+        )
+    )
+    print()
+    print("throughput before balancing: {:.0f} txn/s".format(result.extra["tput_before"]))
+    print("throughput after balancing:  {:.0f} txn/s".format(result.extra["tput_after"]))
+    print("migration-induced aborts:    {}".format(result.extra["migration_aborts"]))
+    print("WW-conflict aborts (normal SI): {}".format(result.extra["ww_aborts"]))
+    assert result.extra["migration_aborts"] == 0
+    assert result.extra["data_intact"]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro — a reproduction of *Remus: Efficient Live Migration for
+Distributed Databases with Snapshot Isolation* (SIGMOD 2022).
+
+The package contains a complete shared-nothing distributed database
+simulated over a deterministic discrete-event kernel — MVCC storage with a
+CLOG and WAL, snapshot isolation with prepare-wait, row/shard locking, 2PC,
+centralized (GTS) and decentralized (DTS/HLC) timestamp ordering, consistent
+hashing and multi-versioned shard maps — plus the paper's live-migration
+protocol (Remus: snapshot copy, WAL propagation, sync barrier, ordered
+diversion, MOCC dual execution, crash recovery) and every baseline the paper
+evaluates against (lock-and-abort, wait-and-remaster, a Squall port and
+stop-and-copy), the paper's workloads (YCSB, TPC-C, hybrid A/B) and the
+experiment harnesses that regenerate each of its tables and figures.
+
+Quickstart::
+
+    from repro import Cluster, ClusterConfig
+    from repro.migration import MigrationPlan, RemusMigration, run_plan
+
+    cluster = Cluster(ClusterConfig(num_nodes=3))
+    cluster.create_table("kv", num_shards=6)
+    cluster.bulk_load("kv", [(k, {"v": k}) for k in range(1000)])
+
+    session = cluster.session("node-1")
+
+    def txn_body():
+        txn = yield from session.begin()
+        value = yield from session.read(txn, "kv", 42)
+        yield from session.update(txn, "kv", 42, {"v": "updated"})
+        yield from session.commit(txn)
+        return value
+
+    cluster.sim.run_until_complete(cluster.spawn(txn_body()))
+
+    shard = cluster.shards_on_node("node-1", table="kv")[0]
+    plan = MigrationPlan(RemusMigration, [([shard], "node-1", "node-2")])
+    cluster.sim.run_until_complete(cluster.spawn(run_plan(cluster, plan)))
+"""
+
+from repro.cluster import Cluster, Session, ShardId
+from repro.config import ClusterConfig, CostModel
+from repro.sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "CostModel",
+    "Session",
+    "ShardId",
+    "Simulator",
+    "__version__",
+]

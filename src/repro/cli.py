@@ -1,0 +1,104 @@
+"""Command-line interface: run any paper scenario from the terminal.
+
+Examples::
+
+    python -m repro list
+    python -m repro experiment hybrid_a --approach remus
+    python -m repro experiment load_balancing --approach squall
+    python -m repro experiment high_contention
+"""
+
+import argparse
+import sys
+
+SCENARIOS = ("hybrid_a", "hybrid_b", "load_balancing", "scale_out", "high_contention")
+
+
+def _run_experiment(scenario, approach, seed):
+    from repro.experiments.consolidation import (
+        ConsolidationConfig,
+        run_hybrid_a,
+        run_hybrid_b,
+    )
+    from repro.experiments.high_contention import HighContentionConfig, run_high_contention
+    from repro.experiments.load_balancing import LoadBalancingConfig, run_load_balancing
+    from repro.experiments.scale_out import ScaleOutConfig, run_scale_out
+
+    if scenario == "hybrid_a":
+        return run_hybrid_a(approach, ConsolidationConfig(seed=seed))
+    if scenario == "hybrid_b":
+        return run_hybrid_b(approach, ConsolidationConfig(group_size=4, seed=seed))
+    if scenario == "load_balancing":
+        return run_load_balancing(approach, LoadBalancingConfig(seed=seed))
+    if scenario == "scale_out":
+        return run_scale_out(approach, ScaleOutConfig(seed=seed))
+    if scenario == "high_contention":
+        return run_high_contention(approach, HighContentionConfig(seed=seed))
+    raise ValueError(scenario)
+
+
+def _print_result(result):
+    from repro.metrics.report import render_series
+
+    start, end = result.migration_window
+    if result.throughput:
+        markers = {}
+        if start is not None:
+            markers[start] = "<mig"
+        if end is not None:
+            markers[end] = "mig>"
+        print(
+            render_series(
+                "throughput ({} / {})".format(result.scenario, result.approach),
+                result.throughput,
+                unit="/s",
+                markers=markers,
+            )
+        )
+    print()
+    print("migration window: {} .. {}".format(start, end))
+    print("downtime (longest/total): {:.3f}s / {:.3f}s".format(
+        result.downtime_longest, result.downtime_total))
+    print("aborts by cause:", result.aborts or "{}")
+    print("latency before/during: {:.3f} / {:.3f} ms".format(
+        result.avg_latency_before * 1e3, result.avg_latency_during * 1e3))
+    for key, value in sorted(result.extra.items()):
+        if key in ("cpu_source", "cpu_dest", "plan_stats"):
+            continue
+        print("{}: {}".format(key, value))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Remus (SIGMOD 2022) reproduction: run the paper's scenarios.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list scenarios and approaches")
+
+    exp = sub.add_parser("experiment", help="run one scenario")
+    exp.add_argument("scenario", choices=SCENARIOS)
+    exp.add_argument(
+        "--approach",
+        default="remus",
+        choices=("remus", "lock_and_abort", "wait_and_remaster", "squall"),
+    )
+    exp.add_argument("--seed", type=int, default=0)
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        from repro.migration import APPROACHES
+
+        print("scenarios: " + ", ".join(SCENARIOS))
+        print("approaches: " + ", ".join(sorted(APPROACHES)))
+        return 0
+    if args.command == "experiment":
+        result = _run_experiment(args.scenario, args.approach, args.seed)
+        _print_result(result)
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""The control plane: migration controller and placement planning (§2.1).
+
+PolarDB-PG's control-plane node hosts the GTS timestamp service (see
+:class:`repro.txn.timestamps.GtsOracle`, wired by the cluster when the GTS
+scheme is selected) and the *migration controller*. This module provides the
+controller: it plans shard movements for the three operational scenarios the
+paper evaluates — consolidation (drain a node), load balancing (spread a hot
+node) and scale-out (populate a new node) — and drives the chosen approach's
+protocol over the plan, collecting per-plan statistics.
+"""
+
+from repro.migration import APPROACHES, MigrationPlan, run_plan
+from repro.migration.base import consolidation_batches
+
+
+class MigrationController:
+    """Plans and executes live migrations on a cluster."""
+
+    def __init__(self, cluster, approach="remus", **migration_kwargs):
+        if approach not in APPROACHES:
+            raise ValueError(
+                "unknown approach {!r}; pick one of {}".format(
+                    approach, sorted(APPROACHES)
+                )
+            )
+        self.cluster = cluster
+        self.approach = approach
+        self.approach_cls = APPROACHES[approach]
+        self.migration_kwargs = migration_kwargs
+        self.completed_plans = []
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan_consolidation(self, source, table=None, group_size=2):
+        """Drain ``source``: move all its shards to the other nodes evenly."""
+        batches = consolidation_batches(
+            self.cluster, source, table=table, group_size=group_size
+        )
+        return MigrationPlan(self.approach_cls, batches, **self.migration_kwargs)
+
+    def plan_balance(self, hot_node, shard_ids=None, fraction=0.8, group_size=4):
+        """Spread ``fraction`` of the hot node's shards over the others."""
+        if shard_ids is None:
+            shard_ids = self.cluster.shards_on_node(hot_node)
+        to_move = shard_ids[: int(len(shard_ids) * fraction)]
+        targets = [n for n in self.cluster.node_ids() if n != hot_node]
+        batches = []
+        for i in range(0, len(to_move), group_size):
+            group = to_move[i : i + group_size]
+            dest = targets[(i // group_size) % len(targets)]
+            batches.append((group, hot_node, dest))
+        return MigrationPlan(self.approach_cls, batches, **self.migration_kwargs)
+
+    def plan_scale_out(self, overloaded, new_node, groups, group_size=1):
+        """Move collocation ``groups`` (lists of shard ids) to ``new_node``."""
+        batches = []
+        for i in range(0, len(groups), group_size):
+            merged = [s for group in groups[i : i + group_size] for s in group]
+            batches.append((merged, overloaded, new_node))
+        return MigrationPlan(self.approach_cls, batches, **self.migration_kwargs)
+
+    def busiest_node(self, window=1.0, table=None):
+        """The node with the highest CPU utilisation over the last window —
+        a simple hotspot detector for automated balancing."""
+        now = self.cluster.sim.now
+        usage = {
+            node_id: node.cpu.usage_between(max(0.0, now - window), now)
+            for node_id, node in self.cluster.nodes.items()
+        }
+        return max(usage, key=usage.get)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, plan):
+        """Generator: run ``plan`` to completion; returns its stats."""
+        stats = yield from run_plan(self.cluster, plan)
+        self.completed_plans.append(plan)
+        return stats
+
+    def start(self, plan):
+        """Spawn plan execution as a background process; returns the handle."""
+        return self.cluster.spawn(self.execute(plan), name="migration-controller")

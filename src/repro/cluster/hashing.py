@@ -1,0 +1,88 @@
+"""Consistent hashing of primary keys to shards (§2.1).
+
+Keys are hashed into a 32-bit ring with a deterministic FNV-1a hash (Python's
+built-in ``hash`` is salted per process and would break reproducibility). The
+ring is split into equal contiguous ranges, one per shard; shard ranges can be
+further subdivided into chunks, which is how the Squall port tracks 8 MB pull
+units.
+"""
+
+HASH_SPACE = 1 << 32
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def consistent_hash(key):
+    """Deterministic 32-bit hash of any key (via its string form).
+
+    FNV-1a alone leaves the upper bits poorly mixed for short inputs (all
+    small integers would land in one ring range), so a Murmur3-style
+    finalizer avalanches the 64-bit value before truncation.
+    """
+    data = str(key).encode("utf-8")
+    value = _FNV_OFFSET
+    for byte in data:
+        value ^= byte
+        value = (value * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    value ^= value >> 33
+    value = (value * 0xFF51AFD7ED558CCD) & 0xFFFFFFFFFFFFFFFF
+    value ^= value >> 33
+    value = (value * 0xC4CEB9FE1A85EC53) & 0xFFFFFFFFFFFFFFFF
+    value ^= value >> 33
+    return value & 0xFFFFFFFF
+
+
+class HashRange:
+    """Half-open range [lo, hi) on the hash ring."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo, hi):
+        if not 0 <= lo < hi <= HASH_SPACE:
+            raise ValueError("invalid hash range [{}, {})".format(lo, hi))
+        self.lo = lo
+        self.hi = hi
+
+    def __contains__(self, hash_value):
+        return self.lo <= hash_value < self.hi
+
+    def __eq__(self, other):
+        return isinstance(other, HashRange) and (self.lo, self.hi) == (other.lo, other.hi)
+
+    def __hash__(self):
+        return hash((self.lo, self.hi))
+
+    @property
+    def width(self):
+        return self.hi - self.lo
+
+    def split(self, parts):
+        """Subdivide into ``parts`` contiguous sub-ranges (chunking)."""
+        if parts < 1:
+            raise ValueError("parts must be >= 1")
+        step = self.width // parts
+        if step == 0:
+            raise ValueError("range too narrow for {} parts".format(parts))
+        ranges = []
+        lo = self.lo
+        for i in range(parts):
+            hi = self.hi if i == parts - 1 else lo + step
+            ranges.append(HashRange(lo, hi))
+            lo = hi
+        return ranges
+
+    def __repr__(self):
+        return "HashRange({:#x}, {:#x})".format(self.lo, self.hi)
+
+
+def split_hash_space(num_shards):
+    """Equal contiguous ranges covering the whole ring, one per shard."""
+    return HashRange(0, HASH_SPACE).split(num_shards)
+
+
+def shard_index_for_hash(hash_value, num_shards):
+    """Index of the shard whose equal-split range contains ``hash_value``."""
+    step = HASH_SPACE // num_shards
+    index = hash_value // step
+    return min(index, num_shards - 1)

@@ -1,0 +1,53 @@
+"""Cost model and cluster configuration.
+
+All virtual-time costs live here so experiments can scale them coherently.
+Defaults are loosely calibrated to the paper's testbed (64 vCPU nodes, NVMe
+WAL, 10 Gbps network): absolute throughput numbers are simulator-scale, but
+the *ratios* between CPU work, WAL flushes, network hops and pull I/O — which
+determine every qualitative result in the evaluation — are preserved.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.sim.network import NetworkConfig
+
+
+@dataclass
+class CostModel:
+    """Virtual-time costs (seconds) for primitive database operations."""
+
+    cpu_read: float = 15e-6  # MVCC point read, first version
+    cpu_per_version: float = 3e-6  # each extra chain version traversed
+    cpu_write: float = 25e-6  # insert/update/delete executed by a txn
+    cpu_apply: float = 18e-6  # replaying one propagated change record
+    cpu_route: float = 1e-6  # shard-map cache lookup
+    cpu_shardmap_read: float = 10e-6  # MVCC read of the shard map table
+    wal_flush: float = 80e-6  # synchronous WAL flush (commit / prepare)
+    snapshot_scan_per_tuple: float = 4e-6  # snapshot copy scan + install
+    pull_chunk_latency: float = 0.02  # Squall: fetch + store one 8 MB chunk
+    client_overhead: float = 10e-6  # per-statement client/parse overhead
+    cpu_propagate: float = 1e-6  # send-process CPU per WAL record scanned
+    spill_threshold: int = 5000  # records before an update cache spills (§3.3)
+    spill_reload_per_batch: float = 0.5e-3  # disk reload latency per 1k records
+
+
+@dataclass
+class ClusterConfig:
+    """Topology and engine configuration for a simulated cluster."""
+
+    num_nodes: int = 6
+    cpu_per_node: int = 8  # parallel execution slots per elastic node
+    timestamp_scheme: str = "dts"  # "dts" (default, as in §4.1) or "gts"
+    clock_skew: float = 0.0  # max absolute physical skew per node (DTS)
+    replay_parallelism: int = 18  # §4.1: parallel apply threads
+    costs: CostModel = field(default_factory=CostModel)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    vacuum_interval: float = 1.0  # seconds between vacuum passes
+    cpu_bin_width: float = 1.0  # CPU usage accounting bin (Figure 10)
+    # Fault tolerance (§3.7: each node can have synchronized replicas; a
+    # replica takes over as the new primary on failure). replication_factor 0
+    # disables replication; > 0 makes every commit wait for the synchronous
+    # replica round trip.
+    replication_factor: int = 0
+    replica_sync_latency: float = 0.0004  # per WAL flush with replication on
+    seed: int = 0

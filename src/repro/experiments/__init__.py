@@ -1,0 +1,21 @@
+"""Experiment harnesses reproducing the paper's evaluation (§4).
+
+Each module builds the scenario, drives the workload and migrations inside
+the simulator, and returns a structured result that the benchmark targets
+render as the corresponding table or figure:
+
+- :mod:`repro.experiments.consolidation` — cluster consolidation under
+  hybrid workloads A and B (Table 2, Figures 6 and 7);
+- :mod:`repro.experiments.load_balancing` — hotspot rebalancing (Figure 8);
+- :mod:`repro.experiments.scale_out` — TPC-C scale-out (Figure 9);
+- :mod:`repro.experiments.high_contention` — hot-shard migration with CPU
+  accounting (Figure 10);
+- :mod:`repro.experiments.latency` — migration-induced latency increase
+  (Table 3);
+- :mod:`repro.experiments.capability` — the qualitative capability matrix
+  (Table 1), derived from measured micro-runs.
+"""
+
+from repro.experiments.common import APPROACH_ORDER, ExperimentResult
+
+__all__ = ["APPROACH_ORDER", "ExperimentResult"]

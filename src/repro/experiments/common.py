@@ -1,0 +1,119 @@
+"""Shared experiment plumbing: cluster construction, runs, result objects."""
+
+from dataclasses import dataclass, field
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.migration import APPROACHES
+from repro.workloads.ycsb import YcsbConfig, YcsbWorkload
+
+# The order the paper's figures present the approaches in.
+APPROACH_ORDER = ("remus", "lock_and_abort", "wait_and_remaster", "squall")
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a benchmark needs to render one approach's run."""
+
+    approach: str
+    scenario: str
+    throughput: list = field(default_factory=list)  # (t, txns/s) for YCSB/TPC-C
+    batch_throughput: list = field(default_factory=list)  # (t, tuples/s)
+    migration_window: tuple = (None, None)
+    workload_window: tuple = (None, None)  # batch/analytical start-end marks
+    aborts: dict = field(default_factory=dict)  # kind -> count
+    abort_ratio: float = 0.0
+    downtime_longest: float = 0.0
+    downtime_total: float = 0.0
+    avg_latency_before: float = 0.0
+    avg_latency_during: float = 0.0
+    avg_throughput_before: float = 0.0
+    avg_throughput_during: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def latency_increase(self):
+        return max(0.0, self.avg_latency_during - self.avg_latency_before)
+
+
+def build_cluster(num_nodes, approach, seed=0, **config_kwargs):
+    """A cluster configured for ``approach`` (Squall needs shard locks).
+
+    Vacuum daemons run as they would in PostgreSQL — without them version
+    chains grow without bound and every read slows down over time.
+    """
+    config = ClusterConfig(num_nodes=num_nodes, seed=seed, **config_kwargs)
+    cluster = Cluster(config)
+    if approach == "squall":
+        cluster.cc_mode = "shard_lock"
+    cluster.start_vacuum_daemons()
+    return cluster
+
+
+def build_ycsb(cluster, **ycsb_kwargs):
+    workload = YcsbWorkload(cluster, YcsbConfig(**ycsb_kwargs))
+    workload.create()
+    return workload
+
+
+def approach_class(approach):
+    try:
+        return APPROACHES[approach]
+    except KeyError:
+        raise ValueError(
+            "unknown approach {!r}; pick one of {}".format(approach, sorted(APPROACHES))
+        ) from None
+
+
+def migration_window(metrics):
+    return metrics.first_mark("migration_start"), metrics.last_mark("migration_end")
+
+
+def summarize(result, metrics, label, end_time, weighted_label=None):
+    """Fill the common measurement fields of ``result`` from the metrics."""
+    start_mig, end_mig = migration_window(metrics)
+    result.migration_window = (start_mig, end_mig)
+    result.throughput = metrics.throughput_series(label=label, bin_width=1.0, end=end_time)
+    if weighted_label:
+        result.batch_throughput = metrics.throughput_series(
+            label=weighted_label, bin_width=1.0, end=end_time, weighted=True
+        )
+    result.aborts = dict(metrics.abort_kinds())
+    if start_mig is not None and end_mig is not None:
+        result.avg_latency_before = metrics.average_latency(label=label, end=start_mig)
+        result.avg_latency_during = metrics.average_latency(
+            label=label, start=start_mig, end=end_mig
+        )
+        result.avg_throughput_before = metrics.average_throughput(label=label, end=start_mig)
+        result.avg_throughput_during = metrics.average_throughput(
+            label=label, start=start_mig, end=end_mig
+        )
+        result.downtime_longest, result.downtime_total = metrics.downtime(
+            label=label, start=start_mig, end=end_mig
+        )
+    return result
+
+
+def run_until_finished(cluster, proc, deadline, step=0.5, what="migration plan"):
+    """Advance the sim in steps until ``proc`` completes (or the deadline)."""
+    while not proc.finished and cluster.sim.now < deadline:
+        cluster.run(until=min(deadline, cluster.sim.now + step))
+    if not proc.finished:
+        raise AssertionError("{} did not finish by t={}s".format(what, deadline))
+    return proc.result()
+
+
+def check_no_crashes(cluster, allow_prefixes=()):
+    """Raise if any detached simulated process died with an exception."""
+    crashes = [
+        (proc.name, exc)
+        for proc, exc in cluster.sim.failed_processes
+        if not any(proc.name.startswith(p) for p in allow_prefixes)
+    ]
+    if crashes:
+        name, exc = crashes[0]
+        raise AssertionError(
+            "{} background process(es) crashed; first: {} -> {!r}".format(
+                len(crashes), name, exc
+            )
+        ) from exc

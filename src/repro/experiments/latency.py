@@ -1,0 +1,45 @@
+"""Migration-induced latency increase (§4.7, Table 3).
+
+The table compares the average latency increase of Remus (synchronized
+source transactions waiting for validation) against lock-and-abort (blocked
+and retried writers) across the four scenarios, next to the baseline
+transaction latency. We measure the increase as (average committed latency
+during the migration window) minus (average before), per approach.
+"""
+
+from repro.experiments.consolidation import ConsolidationConfig, run_hybrid_a, run_hybrid_b
+from repro.experiments.load_balancing import LoadBalancingConfig, run_load_balancing
+from repro.experiments.scale_out import ScaleOutConfig, run_scale_out
+
+SCENARIOS = ("hybrid_a", "hybrid_b", "load_balancing", "scale_out")
+
+
+def run_scenario(scenario, approach, config=None):
+    if scenario == "hybrid_a":
+        return run_hybrid_a(approach, config)
+    if scenario == "hybrid_b":
+        return run_hybrid_b(approach, config)
+    if scenario == "load_balancing":
+        return run_load_balancing(approach, config)
+    if scenario == "scale_out":
+        return run_scale_out(approach, config)
+    raise ValueError("unknown scenario {!r}".format(scenario))
+
+
+def latency_table(scenarios=SCENARIOS, approaches=("remus", "lock_and_abort"), configs=None):
+    """Rows of Table 3: per scenario, the latency increase per approach plus
+    the baseline transaction latency.
+
+    Returns {scenario: {"baseline": s, approach: increase_in_seconds}}.
+    """
+    configs = configs or {}
+    table = {}
+    for scenario in scenarios:
+        row = {}
+        for approach in approaches:
+            result = run_scenario(scenario, approach, configs.get(scenario))
+            row[approach] = result.latency_increase
+            row.setdefault("baseline", result.avg_latency_before)
+            row.setdefault("results", {})[approach] = result
+        table[scenario] = row
+    return table

@@ -1,0 +1,195 @@
+"""Migration framework: specs, statistics, the sequential plan runner."""
+
+from repro.cluster.shardmap import RESERVED_MIN_TS, SHARDMAP_SHARD
+
+
+class MigrationStats:
+    """Per-migration bookkeeping reported by every approach."""
+
+    def __init__(self):
+        self.phase_times = {}  # phase name -> (start, end)
+        self.tuples_copied = 0
+        self.bytes_copied = 0
+        self.records_propagated = 0
+        self.records_applied = 0
+        self.shadow_txns = 0
+        self.ww_conflicts = 0  # MOCC validation conflicts during dual exec
+        self.txns_aborted_by_migration = 0
+        self.sync_waits = 0  # synchronized source transactions
+        self.sync_wait_total = 0.0  # total added latency (Table 3 numerator)
+        self.chunks_pulled = 0  # Squall
+        self.tm_commit_ts = None
+
+    def phase_start(self, sim, name):
+        self.phase_times[name] = (sim.now, None)
+
+    def phase_end(self, sim, name):
+        start, _ = self.phase_times.get(name, (sim.now, None))
+        self.phase_times[name] = (start, sim.now)
+
+    def phase_duration(self, name):
+        start, end = self.phase_times.get(name, (None, None))
+        if start is None or end is None:
+            return 0.0
+        return end - start
+
+    @property
+    def avg_sync_wait(self):
+        if self.sync_waits == 0:
+            return 0.0
+        return self.sync_wait_total / self.sync_waits
+
+    def merge(self, other):
+        """Accumulate another migration's stats (plan-level totals)."""
+        self.tuples_copied += other.tuples_copied
+        self.bytes_copied += other.bytes_copied
+        self.records_propagated += other.records_propagated
+        self.records_applied += other.records_applied
+        self.shadow_txns += other.shadow_txns
+        self.ww_conflicts += other.ww_conflicts
+        self.txns_aborted_by_migration += other.txns_aborted_by_migration
+        self.sync_waits += other.sync_waits
+        self.sync_wait_total += other.sync_wait_total
+        self.chunks_pulled += other.chunks_pulled
+
+
+class BaseMigration:
+    """Common state for one migration of a shard group.
+
+    ``shard_ids`` may contain several shards (collocated migration, §3.8, or
+    arbitrary multi-shard groups); all move from ``source`` to ``dest``
+    within one protocol run.
+    """
+
+    name = "base"
+
+    def __init__(self, cluster, shard_ids, source, dest, catchup_threshold=64):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.shard_ids = list(shard_ids)
+        self.source = source
+        self.dest = dest
+        self.catchup_threshold = catchup_threshold
+        self.stats = MigrationStats()
+        for shard_id in self.shard_ids:
+            if cluster.shard_owner(shard_id) != source:
+                raise ValueError(
+                    "shard {!r} not on source {!r}".format(shard_id, source)
+                )
+
+    @property
+    def source_node(self):
+        return self.cluster.nodes[self.source]
+
+    @property
+    def dest_node(self):
+        return self.cluster.nodes[self.dest]
+
+    def run(self):
+        """Generator: execute the whole migration protocol."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def update_shard_map(self, label="tm"):
+        """Generator: run T_m — the distributed transaction that updates the
+        shard map row for every migrating shard on every node, committed with
+        2PC (§3.5.1). Returns T_m's commit timestamp."""
+        session = self.cluster.session(self.source)
+        txn = yield from session.begin(label="__{}__".format(label), internal=True)
+        for node_id in self.cluster.node_ids():
+            node = self.cluster.nodes[node_id]
+            if node_id != self.source:
+                yield self.cluster.network.send(self.source, node_id, 256)
+            for shard_id in self.shard_ids:
+                yield from node.manager.update(
+                    txn, SHARDMAP_SHARD, shard_id, self.dest, size=64
+                )
+        commit_ts = yield from session.commit(txn)
+        for shard_id in self.shard_ids:
+            self.cluster.record_ownership(shard_id, self.dest)
+        self.stats.tm_commit_ts = commit_ts
+        return commit_ts
+
+    def broadcast_cache_refresh(self, commit_ts):
+        """Generator: push the new owner into every coordinator cache."""
+        yield self.cluster.network.broadcast(
+            self.source, self.cluster.node_ids(), 128
+        )
+        for shard_id in self.shard_ids:
+            self.cluster.refresh_caches(shard_id, self.dest, commit_ts)
+
+    def cleanup_source(self):
+        """Drop the migrated shards' data on the source node."""
+        for shard_id in self.shard_ids:
+            self.source_node.drop_shard(shard_id)
+
+    def cleanup_dest(self):
+        """Drop partially migrated data on the destination (failed runs)."""
+        for shard_id in self.shard_ids:
+            self.dest_node.drop_shard(shard_id)
+
+    def active_writers_of_shards(self):
+        """Active transactions that have written any migrating shard."""
+        shard_set = set(self.shard_ids)
+        writers = []
+        for txn in self.cluster.snapshot_active_txns():
+            if txn.is_shadow:
+                continue
+            if any(shard_set & p.wrote_shards for p in txn.participants.values()):
+                writers.append(txn)
+        return writers
+
+
+class MigrationPlan:
+    """A sequence of migration batches executed back to back, as in §4.4
+    ("two shards are migrated together each time, resulting in 30
+    consecutive migrations")."""
+
+    def __init__(self, approach_cls, batches, pause=0.0, **kwargs):
+        """``batches`` is a list of (shard_ids, source, dest)."""
+        self.approach_cls = approach_cls
+        self.batches = batches
+        self.pause = pause
+        self.kwargs = kwargs
+        self.stats = MigrationStats()
+        self.migrations = []
+
+
+def run_plan(cluster, plan):
+    """Generator: run every batch in ``plan`` sequentially.
+
+    Marks ``migration_start`` / ``migration_end`` (whole plan) and
+    ``batch_start`` / ``batch_end`` (each batch) in the cluster metrics, as
+    the vertical lines in the paper's figures do.
+    """
+    cluster.metrics.mark("migration_start")
+    for shard_ids, source, dest in plan.batches:
+        cluster.metrics.mark("batch_start")
+        migration = plan.approach_cls(cluster, shard_ids, source, dest, **plan.kwargs)
+        plan.migrations.append(migration)
+        yield from migration.run()
+        plan.stats.merge(migration.stats)
+        cluster.metrics.mark("batch_end")
+        if plan.pause:
+            yield plan.pause
+    cluster.metrics.mark("migration_end")
+    return plan.stats
+
+
+def consolidation_batches(cluster, source, table=None, group_size=2):
+    """Batches that empty ``source``, spreading shards over the other nodes
+    round-robin (the cluster consolidation scenario, §4.4)."""
+    shards = cluster.shards_on_node(source, table=table)
+    targets = [n for n in cluster.node_ids() if n != source]
+    batches = []
+    for i in range(0, len(shards), group_size):
+        group = shards[i : i + group_size]
+        dest = targets[(i // group_size) % len(targets)]
+        batches.append((group, source, dest))
+    return batches
+
+
+def reserved_min_ts():
+    return RESERVED_MIN_TS

@@ -1,0 +1,75 @@
+"""Shared iterative-state-copying (ISC) phases (§2.3.3).
+
+The paper implements lock-and-abort and wait-and-remaster with the *same*
+snapshot copying, update propagation and parallel apply protocols as Remus
+(§4.2); they differ only in how ownership is transferred. This mixin holds
+the two shared phases.
+"""
+
+from repro.migration.base import BaseMigration
+from repro.migration.propagation import Propagation
+from repro.migration.snapshot_copy import copy_group_snapshot
+
+CATCHUP_POLL = 0.02  # seconds between catch-up checks
+
+
+class IscMigration(BaseMigration):
+    """Base for push migrations: snapshot copy + async propagation."""
+
+    def __init__(self, cluster, shard_ids, source, dest, **kwargs):
+        super().__init__(cluster, shard_ids, source, dest, **kwargs)
+        self.propagation = None
+        self.snapshot_ts = None
+        self.copy_tasks = []
+
+    def phase_snapshot_copy(self):
+        stats = self.stats
+        stats.phase_start(self.sim, "snapshot_copy")
+        snapshot_ts = yield from self.cluster.oracle.start_timestamp(self.source)
+        self.snapshot_ts = snapshot_ts
+        # Pin vacuum so the snapshot's versions survive the scan (§4.8).
+        self.cluster.add_vacuum_hold(snapshot_ts)
+        # The propagation stream must cover every change of transactions that
+        # are still active at the snapshot; start it before scanning.
+        from_lsn = self.source_node.manager.oldest_active_change_lsn()
+        self.propagation = Propagation(
+            self.cluster,
+            self.shard_ids,
+            self.source,
+            self.dest,
+            snapshot_ts,
+            from_lsn,
+            stats,
+        )
+        self.propagation.hold_applies()
+        self.propagation.start()
+        try:
+            yield from copy_group_snapshot(
+                self.cluster,
+                self.shard_ids,
+                self.source,
+                self.dest,
+                snapshot_ts,
+                stats,
+                task_sink=self.copy_tasks,
+            )
+        finally:
+            self.cluster.remove_vacuum_hold(snapshot_ts)
+        # Released only on success: if the copy was interrupted (crash
+        # injection) the base rows are partial and replay must stay parked
+        # until crash teardown kills the tasks.
+        self.propagation.release_applies()
+        stats.phase_end(self.sim, "snapshot_copy")
+
+    def phase_async_propagation(self):
+        """Catch-up: wait until un-applied changes drop below the threshold."""
+        self.stats.phase_start(self.sim, "async_propagation")
+        while self.propagation.lag() > self.catchup_threshold:
+            yield CATCHUP_POLL
+        self.stats.phase_end(self.sim, "async_propagation")
+
+    def teardown_propagation(self):
+        """Generator: let replay drain, then stop the send process."""
+        yield self.propagation.wait_applied_through(self.source_node.wal.tail_lsn)
+        yield from self.propagation.drain()
+        self.propagation.stop()

@@ -1,0 +1,115 @@
+"""Crash recovery of in-flight migrations (§3.7).
+
+A failure during a migration leaves residual state: a possibly-in-doubt T_m,
+prepared shadow transactions on the destination, source transactions blocked
+in their validation stage, and partially copied data. Recovery proceeds as
+the paper describes:
+
+1. Source transactions waiting for a validation outcome are terminated.
+2. T_m is resolved with ordinary 2PC recovery: committed iff it entered its
+   second phase (here: a commit timestamp was assigned).
+3. Each prepared shadow transaction takes the same action as its source
+   transaction: commit with the source's commit timestamp, or roll back.
+4. If T_m did not commit, no transaction was ever diverted: the partially
+   migrated data on the destination is dropped and the migration can be
+   initiated again. If T_m committed, the destination owns the shards and
+   the migration is *continued*: a repair pass copies whatever committed
+   data is still missing, then the source copy is dropped.
+"""
+
+from repro.storage.clog import TxnStatus
+from repro.storage.snapshot import Snapshot
+from repro.txn.errors import MigrationAbort
+
+
+def crash_migration(migration):
+    """Simulate a crash of the migration machinery mid-flight.
+
+    Stops the send process, removes the sync barrier, and terminates source
+    transactions blocked in their validation stage. Returns the residual
+    prepared shadows for recovery to resolve.
+    """
+    propagation = migration.propagation
+    if propagation is not None:
+        propagation.stop(kill_tasks=True)
+    for task in getattr(migration, "copy_tasks", []):
+        if not task.finished:
+            task.interrupt("crash")
+    mocc = getattr(migration, "mocc", None)
+    residual = {}
+    if mocc is not None:
+        mocc.active = False
+        migration.source_node.manager.remove_commit_hook(mocc)
+        # Terminate validation-stage waiters (§3.7).
+        for xid, waiter in list(mocc._waiters.items()):
+            del mocc._waiters[xid]
+            waiter.fail(MigrationAbort("terminated by crash during validation"))
+    if propagation is not None:
+        residual = dict(propagation._validated)
+        propagation._validated.clear()
+    return residual
+
+
+def recover_migration(cluster, migration, residual_shadows=None):
+    """Generator: bring the cluster back to a consistent state (§3.7).
+
+    Returns "rolled_back" when T_m had not committed (the migration may be
+    retried from scratch) or "completed" when T_m had committed and the
+    migration was driven to completion.
+    """
+    residual_shadows = residual_shadows or {}
+    dest_node = migration.dest_node
+    source_node = migration.source_node
+
+    # Step 1: resolve residual prepared shadows by their source's outcome.
+    for source_xid, (shadow, _entry) in residual_shadows.items():
+        participant = shadow.participant(dest_node.node_id)
+        if participant is None:
+            continue
+        if dest_node.clog.status(participant.xid) is not TxnStatus.PREPARED:
+            continue
+        source_status = source_node.clog.status(source_xid)
+        if source_status is TxnStatus.COMMITTED:
+            commit_ts = source_node.clog.commit_ts(source_xid)
+            yield cluster.network.send(dest_node.node_id, source_node.node_id, 64)
+            yield from dest_node.manager.local_commit(shadow, commit_ts)
+        else:
+            yield from dest_node.manager.local_abort(shadow)
+        cluster.active_txns.pop(shadow.tid, None)
+
+    # Step 2: resolve T_m (2PC recovery).
+    tm_committed = migration.stats.tm_commit_ts is not None
+    if not tm_committed:
+        # No transaction was diverted; drop the partial destination copy.
+        migration.cleanup_dest()
+        for shard_id in migration.shard_ids:
+            if cluster.shard_owner(shard_id) != migration.source:
+                cluster.record_ownership(shard_id, migration.source)
+        cluster.clear_cache_read_through(migration.shard_ids)
+        return "rolled_back"
+
+    # Step 3: T_m committed — the destination owns the shards. Continue the
+    # migration: repair-copy any committed rows that never made it across,
+    # then retire the source copy.
+    repair_ts = yield from cluster.oracle.start_timestamp(migration.source)
+    snapshot = Snapshot(repair_ts)
+    for shard_id in migration.shard_ids:
+        source_heap = source_node.heap_for(shard_id)
+        dest_heap = dest_node.heap_for(shard_id)
+        missing = []
+        for key in sorted(source_heap.keys()):
+            version, _n = yield from source_heap.visible_version(key, snapshot)
+            if version is None:
+                continue
+            dest_version, _n2 = yield from dest_heap.visible_version(key, snapshot)
+            if dest_version is None:
+                missing.append((key, version.value))
+        if missing:
+            yield cluster.network.send(
+                migration.source, migration.dest, len(missing) * 64
+            )
+            dest_node.bulk_install(shard_id, missing)
+        cluster.refresh_caches(shard_id, migration.dest, migration.stats.tm_commit_ts)
+    cluster.clear_cache_read_through(migration.shard_ids)
+    migration.cleanup_source()
+    return "completed"

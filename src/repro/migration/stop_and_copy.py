@@ -1,0 +1,35 @@
+"""Stop-and-copy redistribution (§6: Greenplum [13], Amazon Redshift [4]).
+
+The crudest industrial strategy: stop accepting transactions, copy the
+shards, flip the shard map, resume. Downtime equals the full copy duration.
+Included as an ablation baseline to anchor the downtime axis.
+"""
+
+from repro.migration.base import BaseMigration
+from repro.migration.snapshot_copy import copy_group_snapshot
+
+
+class StopAndCopyMigration(BaseMigration):
+    name = "stop_and_copy"
+
+    def run(self):
+        stats = self.stats
+        stats.phase_start(self.sim, "stop_and_copy")
+        self.cluster.close_routing_gate()
+        try:
+            ongoing = [
+                txn.tid
+                for txn in self.cluster.snapshot_active_txns()
+                if not txn.is_shadow
+            ]
+            yield self.cluster.wait_for_txns(ongoing)
+            snapshot_ts = yield from self.cluster.oracle.start_timestamp(self.source)
+            yield from copy_group_snapshot(
+                self.cluster, self.shard_ids, self.source, self.dest, snapshot_ts, stats
+            )
+            tm_cts = yield from self.update_shard_map()
+            yield from self.broadcast_cache_refresh(tm_cts)
+        finally:
+            self.cluster.open_routing_gate()
+        self.cleanup_source()
+        stats.phase_end(self.sim, "stop_and_copy")

@@ -1,0 +1,53 @@
+"""Wait-and-remaster ownership transfer (§2.3.3; DynaMast [1]).
+
+After the shared ISC phases, the transfer phase suspends routing of newly
+arrived transactions (the cluster routing gate), waits for **all** ongoing
+transactions to complete — the write set of an interactive transaction is
+unknown up front, so every on-the-fly transaction must be waited for, even
+ones that never touch the migrating data — replays the final updates, flips
+the shard map (remastering) and reopens the gate.
+
+No transaction is ever aborted, but a single long-running transaction (a
+batch ingest or an analytical query) keeps the gate closed for its entire
+remaining lifetime, producing the zero-throughput troughs of Figures 6b/7b.
+"""
+
+from repro.migration.isc import IscMigration
+
+
+class WaitAndRemasterMigration(IscMigration):
+    name = "wait_and_remaster"
+
+    def run(self):
+        yield from self.phase_snapshot_copy()
+        yield from self.phase_async_propagation()
+        yield from self._phase_ownership_transfer()
+        yield from self._finish()
+
+    def _phase_ownership_transfer(self):
+        stats = self.stats
+        stats.phase_start(self.sim, "ownership_transfer")
+        self.cluster.close_routing_gate()
+        try:
+            # Wait for every on-the-fly transaction (unknown write sets).
+            ongoing = [
+                txn.tid
+                for txn in self.cluster.snapshot_active_txns()
+                if not txn.is_shadow
+            ]
+            stats.sync_waits += len(ongoing)
+            wait_start = self.sim.now
+            yield self.cluster.wait_for_txns(ongoing)
+            stats.sync_wait_total += self.sim.now - wait_start
+            # Nothing is running: replay the final updates, then remaster.
+            yield self.propagation.wait_applied_through(self.source_node.wal.tail_lsn)
+            yield from self.propagation.drain()
+            tm_cts = yield from self.update_shard_map()
+            yield from self.broadcast_cache_refresh(tm_cts)
+        finally:
+            self.cluster.open_routing_gate()
+        stats.phase_end(self.sim, "ownership_transfer")
+
+    def _finish(self):
+        yield from self.teardown_propagation()
+        self.cleanup_source()

@@ -1,0 +1,20 @@
+"""Exception types raised by the simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for kernel-level errors (misuse of the API, double waits)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The interrupting party supplies a ``cause`` describing why the victim was
+    interrupted (for example, a migration aborting a blocked transaction).
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self):
+        return "Interrupt(cause={!r})".format(self.cause)

@@ -1,0 +1,113 @@
+"""Waitable primitives: events, timeouts and composite waits."""
+
+from repro.sim.errors import SimulationError
+
+
+class Event:
+    """A one-shot waitable that processes can block on.
+
+    An event starts *pending*; it is completed exactly once with either
+    :meth:`succeed` (delivering a value to all waiters) or :meth:`fail`
+    (throwing an exception into all waiters).
+    """
+
+    __slots__ = ("sim", "name", "_callbacks", "_done", "_value", "_exception")
+
+    def __init__(self, sim, name=""):
+        self.sim = sim
+        self.name = name
+        self._callbacks = []
+        self._done = False
+        self._value = None
+        self._exception = None
+
+    @property
+    def triggered(self):
+        """True once the event has been completed (succeeded or failed)."""
+        return self._done
+
+    @property
+    def ok(self):
+        """True if the event completed via :meth:`succeed`."""
+        return self._done and self._exception is None
+
+    @property
+    def value(self):
+        if not self._done:
+            raise SimulationError("event {!r} has not been triggered".format(self.name))
+        return self._value
+
+    @property
+    def exception(self):
+        return self._exception
+
+    def succeed(self, value=None):
+        """Complete the event, waking every waiter with ``value``."""
+        self._complete(value=value, exception=None)
+        return self
+
+    def fail(self, exception):
+        """Complete the event, throwing ``exception`` into every waiter."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._complete(value=None, exception=exception)
+        return self
+
+    def _complete(self, value, exception):
+        if self._done:
+            raise SimulationError("event {!r} triggered twice".format(self.name))
+        self._done = True
+        self._value = value
+        self._exception = exception
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self.sim.schedule(0.0, callback, self)
+
+    def add_callback(self, callback):
+        """Register ``callback(event)``; fires immediately if already done."""
+        if self._done:
+            self.sim.schedule(0.0, callback, self)
+        else:
+            self._callbacks.append(callback)
+
+    def remove_callback(self, callback):
+        if callback in self._callbacks:
+            self._callbacks.remove(callback)
+
+    def __repr__(self):
+        state = "done" if self._done else "pending"
+        return "Event({!r}, {})".format(self.name, state)
+
+
+class Timeout:
+    """Sleep for ``delay`` units of simulated time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay):
+        if delay < 0:
+            raise SimulationError("negative timeout: {}".format(delay))
+        self.delay = delay
+
+    def __repr__(self):
+        return "Timeout({})".format(self.delay)
+
+
+class AllOf:
+    """Wait for every waitable in ``waitables``; yields the list of values."""
+
+    __slots__ = ("waitables",)
+
+    def __init__(self, waitables):
+        self.waitables = list(waitables)
+
+
+class AnyOf:
+    """Wait until any waitable completes; yields ``(index, value)``."""
+
+    __slots__ = ("waitables",)
+
+    def __init__(self, waitables):
+        self.waitables = list(waitables)
+        if not self.waitables:
+            raise SimulationError("AnyOf requires at least one waitable")

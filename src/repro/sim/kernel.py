@@ -1,0 +1,122 @@
+"""The simulator core: a deterministic event heap with virtual time."""
+
+import heapq
+
+from repro.sim.errors import SimulationError
+from repro.sim.events import Event
+from repro.sim.process import Process
+from repro.sim.rng import SeedSequence
+
+
+class _ScheduledCall:
+    """A heap entry. Ordered by (time, sequence) so ties are FIFO."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time, seq, callback, args):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """A discrete-event simulator with deterministic execution order.
+
+    All simulated components share one :class:`Simulator`. Time is a float in
+    *seconds* of virtual time. Determinism comes from the FIFO tie-break on
+    the event heap plus seeded RNG streams handed out by :meth:`rng`.
+    """
+
+    def __init__(self, seed=0):
+        self.now = 0.0
+        self._heap = []
+        self._seq = 0
+        self._seeds = SeedSequence(seed)
+        self.failed_processes = []  # (process, exception) of crashed processes
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay, callback, *args):
+        """Run ``callback(*args)`` after ``delay`` virtual seconds.
+
+        Returns a handle whose ``cancelled`` flag may be set to skip the call.
+        """
+        if delay < 0:
+            raise SimulationError("cannot schedule in the past (delay={})".format(delay))
+        self._seq += 1
+        entry = _ScheduledCall(self.now + delay, self._seq, callback, args)
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def spawn(self, generator, name=""):
+        """Start a new process running ``generator``; returns the Process."""
+        return Process(self, generator, name=name)
+
+    def event(self, name=""):
+        """Create a fresh pending :class:`Event` bound to this simulator."""
+        return Event(self, name=name)
+
+    def rng(self, label):
+        """Return an independent, reproducible RNG stream for ``label``."""
+        return self._seeds.stream(label)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self):
+        """Execute the next scheduled call. Returns False when idle."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            if entry.time < self.now:
+                raise SimulationError("time went backwards")
+            self.now = entry.time
+            entry.callback(*entry.args)
+            return True
+        return False
+
+    def run(self, until=None):
+        """Run until the heap drains or virtual time passes ``until``."""
+        if until is None:
+            while self.step():
+                pass
+            return self.now
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time > until:
+                break
+            self.step()
+        self.now = max(self.now, until)
+        return self.now
+
+    def run_until_complete(self, process, limit=None):
+        """Run until ``process`` finishes; returns its value or re-raises.
+
+        ``limit`` bounds virtual time as a safety net against deadlock.
+        """
+        while not process.finished:
+            if limit is not None and self.now > limit:
+                raise SimulationError(
+                    "process {!r} did not finish by t={}".format(process.name, limit)
+                )
+            if not self.step():
+                raise SimulationError(
+                    "deadlock: no pending events but process {!r} not finished".format(
+                        process.name
+                    )
+                )
+        return process.result()
+
+    @property
+    def pending_events(self):
+        return sum(1 for entry in self._heap if not entry.cancelled)

@@ -1,0 +1,70 @@
+"""A simple point-to-point network model with latency and bandwidth.
+
+Messages between distinct simulated nodes take ``base_latency`` plus a
+size-proportional transfer time; messages a node sends to itself are free.
+The model is intentionally simple — migration behaviour in the paper is
+dominated by *protocol waiting* (locks, pulls, 2PC round trips), which this
+captures, rather than by packet-level effects.
+"""
+
+from dataclasses import dataclass
+
+from repro.sim.events import AllOf
+
+
+@dataclass
+class NetworkConfig:
+    """Network cost model.
+
+    Attributes:
+        base_latency: one-way propagation + stack delay in seconds.
+        bandwidth: bytes per second for size-dependent transfer time.
+        jitter: max uniform extra delay in seconds (0 disables jitter).
+    """
+
+    base_latency: float = 0.0002
+    bandwidth: float = 1.25e9  # 10 Gbps in bytes/second
+    jitter: float = 0.0
+
+
+class Network:
+    """Delivers messages between named nodes on a shared simulator."""
+
+    def __init__(self, sim, config=None):
+        self.sim = sim
+        self.config = config or NetworkConfig()
+        self._rng = sim.rng("network")
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def delay_for(self, src, dst, size=0):
+        """One-way delay in seconds for a ``size``-byte message src -> dst."""
+        if src == dst:
+            return 0.0
+        delay = self.config.base_latency + size / self.config.bandwidth
+        if self.config.jitter > 0:
+            delay += self._rng.uniform(0.0, self.config.jitter)
+        return delay
+
+    def send(self, src, dst, size=0):
+        """Returns an event that succeeds when the message has arrived."""
+        self.messages_sent += 1
+        self.bytes_sent += size
+        arrived = self.sim.event(name="msg:{}->{}".format(src, dst))
+        self.sim.schedule(self.delay_for(src, dst, size), arrived.succeed, None)
+        return arrived
+
+    def roundtrip(self, src, dst, request_size=0, response_size=0):
+        """Returns an event for a request/response pair's total delay."""
+        done = self.sim.event(name="rpc:{}<->{}".format(src, dst))
+        total = self.delay_for(src, dst, request_size) + self.delay_for(
+            dst, src, response_size
+        )
+        self.messages_sent += 2
+        self.bytes_sent += request_size + response_size
+        self.sim.schedule(total, done.succeed, None)
+        return done
+
+    def broadcast(self, src, dsts, size=0):
+        """Waitable that completes when the message reached every node."""
+        return AllOf([self.send(src, dst, size) for dst in dsts])

@@ -1,0 +1,224 @@
+"""Generator-based cooperative processes."""
+
+from repro.sim.errors import Interrupt, SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+
+
+class _ProcessReturn(Exception):
+    """Internal: carries a generator's return value."""
+
+    def __init__(self, value):
+        super().__init__()
+        self.value = value
+
+
+class Process:
+    """A running simulated activity, driven by a Python generator.
+
+    The generator yields waitables (see :mod:`repro.sim`); when the waitable
+    completes, the generator is resumed with the waitable's value. ``return``
+    from the generator finishes the process with that value. An uncaught
+    exception finishes the process with that exception; joining processes see
+    it re-raised.
+
+    Processes may be cancelled asynchronously via :meth:`interrupt`, which
+    throws :class:`~repro.sim.errors.Interrupt` into the generator at its
+    current yield point.
+    """
+
+    __slots__ = (
+        "sim",
+        "name",
+        "_generator",
+        "_done_event",
+        "_waiting_on",
+        "_pending_timer",
+        "_interrupt_pending",
+    )
+
+    def __init__(self, sim, generator, name=""):
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._done_event = Event(sim, name="done:{}".format(self.name))
+        self._waiting_on = None
+        self._pending_timer = None
+        self._interrupt_pending = None
+        sim.schedule(0.0, self._resume, None, None)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def finished(self):
+        return self._done_event.triggered
+
+    @property
+    def done_event(self):
+        """Event triggered when this process completes."""
+        return self._done_event
+
+    def result(self):
+        """Return value of the finished process, re-raising its exception."""
+        if not self.finished:
+            raise SimulationError("process {!r} still running".format(self.name))
+        if self._done_event.exception is not None:
+            raise self._done_event.exception
+        return self._done_event.value
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def interrupt(self, cause=None):
+        """Throw :class:`Interrupt` into the process at its next resumption.
+
+        Interrupting a finished process is a no-op so that race conditions
+        between completion and cancellation are harmless.
+        """
+        if self.finished or self._interrupt_pending is not None:
+            return
+        self._interrupt_pending = Interrupt(cause)
+        self._detach_wait()
+        self.sim.schedule(0.0, self._resume_interrupt)
+
+    def _resume_interrupt(self):
+        exc, self._interrupt_pending = self._interrupt_pending, None
+        if exc is None or self.finished:
+            return
+        self._resume(None, exc)
+
+    def _detach_wait(self):
+        """Stop listening to whatever the process is currently waiting on."""
+        if self._pending_timer is not None:
+            self._pending_timer.cancelled = True
+            self._pending_timer = None
+        if self._waiting_on is not None:
+            waited, callback = self._waiting_on
+            waited.remove_callback(callback)
+            self._waiting_on = None
+
+    # ------------------------------------------------------------------
+    # Generator driving
+    # ------------------------------------------------------------------
+    def _resume(self, value, exception):
+        if self.finished:
+            return
+        self._pending_timer = None
+        self._waiting_on = None
+        try:
+            if exception is not None:
+                target = self._generator.throw(exception)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self._finish(value=stop.value, exception=None)
+            return
+        except _ProcessReturn as ret:
+            self._finish(value=ret.value, exception=None)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate to joiners
+            self._finish(value=None, exception=exc)
+            return
+        self._wait_on(target)
+
+    def _finish(self, value, exception):
+        if exception is None:
+            self._done_event.succeed(value)
+        else:
+            # Record the failure on the simulator so that crashes in detached
+            # background processes (nobody joins them) are not silent.
+            failures = getattr(self.sim, "failed_processes", None)
+            if failures is not None:
+                failures.append((self, exception))
+            self._done_event.fail(exception)
+
+    def _wait_on(self, target):
+        if isinstance(target, (int, float)):
+            target = Timeout(target)
+        if isinstance(target, Timeout):
+            self._pending_timer = self.sim.schedule(target.delay, self._resume, None, None)
+            return
+        if isinstance(target, Process):
+            target = target.done_event
+        if isinstance(target, Event):
+            self._wait_on_event(target)
+            return
+        if isinstance(target, AllOf):
+            self._wait_on_all(target)
+            return
+        if isinstance(target, AnyOf):
+            self._wait_on_any(target)
+            return
+        self._resume(
+            None,
+            SimulationError("process {!r} yielded non-waitable {!r}".format(self.name, target)),
+        )
+
+    def _wait_on_event(self, event):
+        def callback(ev):
+            if self.finished:
+                return
+            self._waiting_on = None
+            if ev.exception is not None:
+                self._resume(None, ev.exception)
+            else:
+                self._resume(ev.value, None)
+
+        self._waiting_on = (event, callback)
+        event.add_callback(callback)
+
+    def _wait_on_all(self, allof):
+        events = [self._as_event(item) for item in allof.waitables]
+        if not events:
+            self.sim.schedule(0.0, self._resume, [], None)
+            return
+        state = {"remaining": len(events), "failed": None}
+
+        def on_done(_ev):
+            if self.finished:
+                return
+            state["remaining"] -= 1
+            failure = next((e.exception for e in events if e.triggered and e.exception), None)
+            if failure is not None and state["failed"] is None:
+                state["failed"] = failure
+                self._resume(None, failure)
+                return
+            if state["remaining"] == 0 and state["failed"] is None:
+                self._resume([e.value for e in events], None)
+
+        for event in events:
+            event.add_callback(on_done)
+
+    def _wait_on_any(self, anyof):
+        events = [self._as_event(item) for item in anyof.waitables]
+        state = {"done": False}
+
+        def on_done(ev):
+            if self.finished or state["done"]:
+                return
+            state["done"] = True
+            index = events.index(ev)
+            if ev.exception is not None:
+                self._resume(None, ev.exception)
+            else:
+                self._resume((index, ev.value), None)
+
+        for event in events:
+            event.add_callback(on_done)
+
+    def _as_event(self, item):
+        if isinstance(item, Process):
+            return item.done_event
+        if isinstance(item, Event):
+            return item
+        if isinstance(item, (int, float)):
+            item = Timeout(item)
+        if isinstance(item, Timeout):
+            event = Event(self.sim, name="timeout")
+            self.sim.schedule(item.delay, event.succeed, None)
+            return event
+        raise SimulationError("cannot wait on {!r}".format(item))
+
+    def __repr__(self):
+        state = "finished" if self.finished else "running"
+        return "Process({!r}, {})".format(self.name, state)

@@ -1,0 +1,130 @@
+"""Capacity-limited resources: generic semaphores and CPUs with accounting."""
+
+from collections import deque
+
+from repro.sim.errors import SimulationError
+
+
+class Resource:
+    """A counted resource with FIFO queuing.
+
+    ``acquire()`` returns an :class:`Event` that succeeds when a unit becomes
+    available; the holder must call :meth:`release` exactly once.
+    """
+
+    def __init__(self, sim, capacity=1, name=""):
+        if capacity < 1:
+            raise SimulationError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._queue = deque()
+
+    @property
+    def in_use(self):
+        return self._in_use
+
+    @property
+    def queued(self):
+        return len(self._queue)
+
+    def acquire(self):
+        event = self.sim.event(name="acquire:{}".format(self.name))
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed(self)
+        else:
+            self._queue.append(event)
+        return event
+
+    def release(self):
+        if self._in_use <= 0:
+            raise SimulationError("release of idle resource {!r}".format(self.name))
+        if self._queue:
+            waiter = self._queue.popleft()
+            waiter.succeed(self)
+        else:
+            self._in_use -= 1
+
+
+class CpuResource:
+    """Models a node's CPU: ``capacity`` parallel execution slots.
+
+    Work is submitted with :meth:`use`, which returns an event that succeeds
+    once the work has queued for a free slot and then occupied it for
+    ``duration`` virtual seconds. Busy time is accumulated into fixed-width
+    bins so experiments can report a CPU-utilisation time series, as Figure 10
+    of the paper does.
+    """
+
+    def __init__(self, sim, capacity, name="", bin_width=1.0):
+        if capacity < 1:
+            raise SimulationError("CPU capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.bin_width = bin_width
+        self._free = capacity
+        self._queue = deque()
+        self._busy_bins = {}
+        self.total_busy_time = 0.0
+
+    def use(self, duration, tag=None):
+        """Occupy one CPU slot for ``duration``; returns a completion event."""
+        if duration < 0:
+            raise SimulationError("negative CPU duration")
+        done = self.sim.event(name="cpu:{}".format(self.name))
+        self._queue.append((duration, done, tag))
+        self._dispatch()
+        return done
+
+    def _dispatch(self):
+        while self._free > 0 and self._queue:
+            duration, done, tag = self._queue.popleft()
+            self._free -= 1
+            self._account(self.sim.now, duration)
+            self.sim.schedule(duration, self._complete, done)
+
+    def _complete(self, done):
+        self._free += 1
+        done.succeed(None)
+        self._dispatch()
+
+    def _account(self, start, duration):
+        """Spread ``duration`` of one slot's busy time across time bins."""
+        self.total_busy_time += duration
+        remaining = duration
+        cursor = start
+        while remaining > 1e-12:
+            bin_index = int(cursor / self.bin_width)
+            bin_end = (bin_index + 1) * self.bin_width
+            chunk = min(remaining, bin_end - cursor)
+            self._busy_bins[bin_index] = self._busy_bins.get(bin_index, 0.0) + chunk
+            cursor += chunk
+            remaining -= chunk
+
+    def usage_series(self, start=0.0, end=None):
+        """Utilisation fraction per bin over [start, end) as (time, frac)."""
+        if end is None:
+            end = self.sim.now
+        points = []
+        index = int(start / self.bin_width)
+        last = int(end / self.bin_width)
+        slot_seconds = self.capacity * self.bin_width
+        while index < last:
+            busy = self._busy_bins.get(index, 0.0)
+            points.append((index * self.bin_width, busy / slot_seconds))
+            index += 1
+        return points
+
+    def usage_between(self, start, end):
+        """Average utilisation fraction over the window [start, end)."""
+        if end <= start:
+            return 0.0
+        total = 0.0
+        for time, frac in self.usage_series(start, end):
+            del time
+            total += frac
+        bins = max(1, int(end / self.bin_width) - int(start / self.bin_width))
+        return total / bins

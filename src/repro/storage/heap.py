@@ -1,0 +1,171 @@
+"""Versioned heap tables: one per shard per node.
+
+A heap table stores version chains newest-first per primary key, exactly the
+structure the paper's protocols manipulate: MVCC reads traverse the chain
+until the first version visible to the reader's snapshot; updates append a
+new version and stamp the old one's ``xmax``; vacuum trims versions that no
+active snapshot can see (long snapshot scans hold vacuum back, which is the
+mechanism behind the paper's Figure 10 throughput dip).
+"""
+
+from repro.storage.clog import TxnStatus
+from repro.storage.snapshot import creation_visible, deletion_visible, version_is_dead
+from repro.storage.tuples import TupleVersion
+
+
+class HeapTable:
+    """MVCC storage for one shard on one node."""
+
+    def __init__(self, sim, clog, shard_id=None):
+        self.sim = sim
+        self.clog = clog
+        self.shard_id = shard_id
+        self._chains = {}
+        self.version_count = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __contains__(self, key):
+        return key in self._chains
+
+    def keys(self):
+        return self._chains.keys()
+
+    def chain(self, key):
+        """Version chain for ``key``, newest first (empty if unknown)."""
+        return self._chains.get(key, [])
+
+    def chain_length(self, key):
+        return len(self._chains.get(key, ()))
+
+    @property
+    def key_count(self):
+        return len(self._chains)
+
+    # ------------------------------------------------------------------
+    # Physical mutation (called by the transaction layer under locks)
+    # ------------------------------------------------------------------
+    def put_version(self, key, value, xmin):
+        """Prepend a new version for ``key`` created by ``xmin``."""
+        version = TupleVersion(key, value, xmin)
+        self._chains.setdefault(key, []).insert(0, version)
+        self.version_count += 1
+        return version
+
+    def mark_deleted(self, version, xmax):
+        """Stamp ``version`` as superseded/deleted by transaction ``xmax``."""
+        version.xmax = xmax
+
+    def unmark_deleted(self, version, xmax):
+        """Roll back an xmax stamp if it still belongs to ``xmax``."""
+        if version.xmax == xmax:
+            version.xmax = None
+
+    def remove_version(self, version):
+        chain = self._chains.get(version.key)
+        if chain and version in chain:
+            chain.remove(version)
+            self.version_count -= 1
+            if not chain:
+                del self._chains[version.key]
+
+    # ------------------------------------------------------------------
+    # MVCC reads (generators: may prepare-wait via the CLOG)
+    # ------------------------------------------------------------------
+    def visible_version(self, key, snapshot):
+        """Generator returning (version, versions_traversed) or (None, n).
+
+        Walks the chain newest-first to the first version whose creation is
+        visible to ``snapshot``; the row is then visible iff that version's
+        deletion is not. ``versions_traversed`` lets callers charge CPU time
+        proportional to chain length.
+        """
+        traversed = 0
+        for version in list(self.chain(key)):
+            traversed += 1
+            created = yield from creation_visible(version, snapshot, self.clog)
+            if not created:
+                continue
+            deleted = yield from deletion_visible(version, snapshot, self.clog)
+            if deleted:
+                return None, traversed
+            return version, traversed
+        return None, traversed
+
+    def read(self, key, snapshot):
+        """Generator returning (value_or_None, versions_traversed)."""
+        version, traversed = yield from self.visible_version(key, snapshot)
+        if version is None:
+            return None, traversed
+        return version.value, traversed
+
+    def latest_committed_or_locked(self, key):
+        """Newest version not created by an aborted transaction (or None).
+
+        This is the version an updater contends on after acquiring the row
+        lock: it is either committed, prepared or belongs to the lock holder.
+        """
+        for version in self.chain(key):
+            if self.clog.status(version.xmin) is not TxnStatus.ABORTED:
+                return version
+        return None
+
+    # ------------------------------------------------------------------
+    # Snapshot scan (for migration snapshot copying, §3.2)
+    # ------------------------------------------------------------------
+    def scan_at(self, snapshot):
+        """Materialise all (key, value) pairs visible to ``snapshot``.
+
+        Returns a generator *process* whose return value is the list of
+        pairs; it prepare-waits on in-doubt writers, so the snapshot is
+        transactionally consistent.
+        """
+        pairs = []
+        for key in sorted(self._chains.keys()):
+            version, _traversed = yield from self.visible_version(key, snapshot)
+            if version is not None:
+                pairs.append((key, version.value))
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Vacuum
+    # ------------------------------------------------------------------
+    def vacuum(self, horizon_ts):
+        """Remove versions no snapshot at/after ``horizon_ts`` can see.
+
+        A version is reclaimable if its creator aborted, or its deletion
+        committed with a timestamp <= ``horizon_ts``. Returns the number of
+        versions removed. A long-running snapshot (e.g. a migration snapshot
+        scan) holds ``horizon_ts`` back and lets chains grow.
+        """
+        removed = 0
+        for key in list(self._chains.keys()):
+            chain = self._chains[key]
+            kept = []
+            for version in chain:
+                if self.clog.status(version.xmin) is TxnStatus.ABORTED:
+                    removed += 1
+                    continue
+                if (
+                    version.xmax is not None
+                    and self.clog.status(version.xmax) is TxnStatus.COMMITTED
+                    and self.clog.commit_ts(version.xmax) <= horizon_ts
+                ):
+                    removed += 1
+                    continue
+                kept.append(version)
+            if kept:
+                self._chains[key] = kept
+            else:
+                del self._chains[key]
+        self.version_count -= removed
+        return removed
+
+    def is_dead(self, version):
+        return version_is_dead(version, self.clog)
+
+    def clear(self):
+        """Drop all data (used when cleaning up a migrated-away shard)."""
+        self._chains.clear()
+        self.version_count = 0

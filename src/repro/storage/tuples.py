@@ -1,0 +1,32 @@
+"""Multi-versioned tuples.
+
+Mirrors PostgreSQL's tuple header as extended by PolarDB-PG (§2.2 of the
+paper): each version records the transaction that created it (``xmin``) and,
+once updated or deleted, the transaction that invalidated it (``xmax``). The
+commit timestamp of the creating/deleting transaction lives in the CLOG, not
+in the tuple, exactly as in the paper's design.
+"""
+
+
+class TupleVersion:
+    """One version of a row.
+
+    Attributes:
+        key: primary key value.
+        value: column payload (any Python object; workloads use dicts).
+        xmin: id of the transaction that created this version.
+        xmax: id of the transaction that deleted/superseded it, or None.
+    """
+
+    __slots__ = ("key", "value", "xmin", "xmax")
+
+    def __init__(self, key, value, xmin, xmax=None):
+        self.key = key
+        self.value = value
+        self.xmin = xmin
+        self.xmax = xmax
+
+    def __repr__(self):
+        return "TupleVersion(key={!r}, xmin={}, xmax={})".format(
+            self.key, self.xmin, self.xmax
+        )

@@ -1,0 +1,125 @@
+"""Write-ahead log with typed records, LSNs and streaming readers.
+
+Remus tracks incremental changes by traversing WAL records (§3.3). The
+propagation (send) process is a streaming reader of this log: it builds an
+update-cache queue per transaction and ships a transaction's changes when its
+commit record is encountered. The record kinds below cover everything the
+protocols need: row changes, 2PC prepare ("validation records"), plain
+commit/abort and the resolution records for prepared transactions.
+"""
+
+import enum
+from dataclasses import dataclass, field
+
+
+class WalRecordKind(enum.Enum):
+    INSERT = "insert"
+    UPDATE = "update"
+    DELETE = "delete"
+    LOCK = "lock"  # explicit row-level lock (SELECT ... FOR UPDATE)
+    PREPARE = "prepare"  # 2PC prepare / MOCC validation record
+    COMMIT = "commit"
+    ABORT = "abort"
+    COMMIT_PREPARED = "commit_prepared"
+    ROLLBACK_PREPARED = "rollback_prepared"
+
+    @property
+    def is_change(self):
+        return self in (
+            WalRecordKind.INSERT,
+            WalRecordKind.UPDATE,
+            WalRecordKind.DELETE,
+            WalRecordKind.LOCK,
+        )
+
+
+@dataclass
+class WalRecord:
+    """One WAL entry. ``lsn`` is assigned by :meth:`Wal.append`."""
+
+    kind: WalRecordKind
+    xid: int
+    shard_id: object = None
+    key: object = None
+    value: object = None
+    size: int = 0
+    commit_ts: int = None
+    start_ts: int = None
+    lsn: int = field(default=None, compare=False)
+
+
+class Wal:
+    """Append-only log for one node.
+
+    Readers (:class:`WalReader`) consume records in order and block on an
+    event when they reach the tail, waking as soon as new records land.
+    """
+
+    def __init__(self, sim, node_id=""):
+        self.sim = sim
+        self.node_id = node_id
+        self._records = []
+        self._appended = None  # event armed while a reader waits at the tail
+
+    @property
+    def tail_lsn(self):
+        """LSN that the *next* appended record will receive."""
+        return len(self._records)
+
+    def append(self, record):
+        """Assign the next LSN to ``record`` and append it. Returns the LSN."""
+        record.lsn = len(self._records)
+        self._records.append(record)
+        if self._appended is not None:
+            armed, self._appended = self._appended, None
+            armed.succeed(None)
+        return record.lsn
+
+    def record_at(self, lsn):
+        return self._records[lsn]
+
+    def records_between(self, from_lsn, to_lsn):
+        """Records with from_lsn <= lsn < to_lsn."""
+        return self._records[from_lsn:to_lsn]
+
+    def reader(self, from_lsn=0):
+        return WalReader(self, from_lsn)
+
+    def _wait_appended(self):
+        if self._appended is None:
+            self._appended = self.sim.event(name="wal-append:{}".format(self.node_id))
+        return self._appended
+
+
+class WalReader:
+    """Sequential streaming reader over a :class:`Wal`.
+
+    Usage inside a simulated process::
+
+        record = yield from reader.next_record()
+    """
+
+    def __init__(self, wal, from_lsn=0):
+        self.wal = wal
+        self.next_lsn = from_lsn
+
+    @property
+    def lag(self):
+        """Number of records appended but not yet consumed by this reader."""
+        return self.wal.tail_lsn - self.next_lsn
+
+    def poll(self):
+        """Return the next record without blocking, or None at the tail."""
+        if self.next_lsn < self.wal.tail_lsn:
+            record = self.wal.record_at(self.next_lsn)
+            self.next_lsn += 1
+            return record
+        return None
+
+    def next_record(self):
+        """Generator: yields until a record is available, then returns it."""
+        while True:
+            record = self.poll()
+            if record is not None:
+                return record
+            yield self.wal._wait_appended()

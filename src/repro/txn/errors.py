@@ -1,0 +1,44 @@
+"""Abort taxonomy.
+
+The paper's evaluation distinguishes *migration-induced* aborts (what Remus
+eliminates) from ordinary write-write serialization failures (which any SI
+system has). Keeping them as distinct exception types lets the metrics layer
+report them separately, as Table 2 and §4.5 do.
+"""
+
+
+class TransactionError(Exception):
+    """Base class for transaction aborts."""
+
+    kind = "error"
+
+    def __init__(self, message="", txn_id=None):
+        super().__init__(message)
+        self.txn_id = txn_id
+
+
+class SerializationFailure(TransactionError):
+    """First-updater-wins WW conflict under snapshot isolation.
+
+    PostgreSQL's "could not serialize access due to concurrent update".
+    Also raised when MOCC validation detects a WW conflict between a source
+    transaction's shadow and a destination transaction.
+    """
+
+    kind = "ww_conflict"
+
+
+class MigrationAbort(TransactionError):
+    """Transaction killed by migration machinery.
+
+    Raised by lock-and-abort when transferring ownership, and by the Squall
+    port when a source transaction touches an already-migrated chunk.
+    """
+
+    kind = "migration"
+
+
+class UniqueViolation(TransactionError):
+    """Primary-key uniqueness constraint violated by an insert."""
+
+    kind = "unique"

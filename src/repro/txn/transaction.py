@@ -1,0 +1,121 @@
+"""Transaction records.
+
+A :class:`Transaction` is coordinated by one node and may have participant
+state on several nodes (shared-nothing execution). Each participant gets its
+own node-local ``xid`` — mirroring PostgreSQL, where a distributed transaction
+is a set of local transactions stitched together by 2PC — while the snapshot
+(start timestamp) is global.
+"""
+
+import enum
+
+from repro.storage.snapshot import Snapshot
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    PREPARING = "preparing"
+    COMMITTING = "committing"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Participant:
+    """Per-node transaction state."""
+
+    __slots__ = (
+        "node_id",
+        "xid",
+        "wrote_shards",
+        "row_locks",
+        "shard_locks",
+        "writes",
+        "prepare_lsn",
+    )
+
+    def __init__(self, node_id, xid):
+        self.node_id = node_id
+        self.xid = xid
+        self.wrote_shards = set()
+        self.row_locks = set()  # (shard_id, key) pairs currently held
+        self.shard_locks = set()
+        self.writes = 0
+        self.prepare_lsn = None  # LSN of this participant's PREPARE record
+
+
+class Transaction:
+    """One (possibly distributed) transaction under snapshot isolation."""
+
+    _next_tid = 0
+
+    @classmethod
+    def allocate_tid(cls):
+        cls._next_tid += 1
+        return cls._next_tid
+
+    def __init__(self, tid, coordinator_node, start_ts, label=""):
+        self.tid = tid
+        self.coordinator_node = coordinator_node
+        self.start_ts = start_ts
+        self.label = label
+        self.state = TxnState.ACTIVE
+        self.commit_ts = None
+        self.participants = {}
+        self.process = None  # owning sim Process; migrations interrupt it
+        self.doomed = None  # exception to raise at the next operation
+        self.begin_time = None
+        self.is_shadow = False
+        self.source_tid = None  # for shadow txns: the source transaction
+        self.op_count = 0
+
+    # ------------------------------------------------------------------
+    def snapshot_for(self, node_id):
+        """MVCC snapshot for reads executed on ``node_id``."""
+        participant = self.participants.get(node_id)
+        xid = participant.xid if participant else None
+        return Snapshot(self.start_ts, xid=xid)
+
+    def participant(self, node_id):
+        return self.participants.get(node_id)
+
+    def add_participant(self, node_id, xid):
+        participant = Participant(node_id, xid)
+        self.participants[node_id] = participant
+        return participant
+
+    @property
+    def participant_nodes(self):
+        return list(self.participants.keys())
+
+    @property
+    def is_distributed(self):
+        return len(self.participants) > 1
+
+    @property
+    def wrote_anything(self):
+        return any(p.writes for p in self.participants.values())
+
+    def wrote_shards(self):
+        shards = set()
+        for participant in self.participants.values():
+            shards |= participant.wrote_shards
+        return shards
+
+    @property
+    def finished(self):
+        return self.state in (TxnState.COMMITTED, TxnState.ABORTED)
+
+    def doom(self, exc):
+        """Mark the transaction for abort at its next safe point."""
+        if self.doomed is None and not self.finished:
+            self.doomed = exc
+
+    def check_doomed(self):
+        if self.doomed is not None:
+            exc, self.doomed = self.doomed, None
+            raise exc
+
+    def __repr__(self):
+        return "Transaction(tid={}, state={}, start_ts={}, label={!r})".format(
+            self.tid, self.state.value, self.start_ts, self.label
+        )

@@ -1,0 +1,27 @@
+"""Workload generators and clients.
+
+- :mod:`repro.workloads.client` — closed-loop clients with abort/retry;
+- :mod:`repro.workloads.zipf` — zipfian key sampling for skewed YCSB;
+- :mod:`repro.workloads.ycsb` — the YCSB workload of §4.3;
+- :mod:`repro.workloads.tpcc` — the TPC-C workload of §4.3 (warehouse-
+  collocated shards, new-order/payment/order-status/delivery/stock-level);
+- :mod:`repro.workloads.hybrid` — hybrid workloads A (batch ingestion) and B
+  (analytical duplicate check) of §4.3.
+"""
+
+from repro.workloads.client import ClientPool, ClosedLoopClient, run_transaction
+from repro.workloads.ycsb import YcsbConfig, YcsbWorkload
+from repro.workloads.tpcc import TpccConfig, TpccWorkload
+from repro.workloads.hybrid import AnalyticalClient, BatchIngestClient
+
+__all__ = [
+    "AnalyticalClient",
+    "BatchIngestClient",
+    "ClientPool",
+    "ClosedLoopClient",
+    "TpccConfig",
+    "TpccWorkload",
+    "YcsbConfig",
+    "YcsbWorkload",
+    "run_transaction",
+]

@@ -1,0 +1,171 @@
+"""Hybrid workloads A and B (§4.3).
+
+**Hybrid A** runs a uniform YCSB workload while a batch ingestion client
+issues large batch insert transactions in a tight loop (the paper uses
+PostgreSQL's COPY with one million 1 KB tuples per batch): tuples carry
+monotonically increasing primary keys starting above the current maximum, the
+coordinator routes them to their shards, and the whole batch commits with
+2PC. The client retries aborted batches.
+
+**Hybrid B** runs the YCSB workload while an analytical transaction checks
+for duplicate primary keys across all nodes — a long multi-statement
+read-only query, also used to verify database consistency during migration.
+"""
+
+from collections import Counter
+
+from repro.workloads.client import run_transaction
+from repro.workloads.ycsb import TABLE as YCSB_TABLE
+
+
+class BatchIngestClient:
+    """Issues ``num_batches`` batch insert transactions back to back."""
+
+    def __init__(
+        self,
+        cluster,
+        node_id,
+        table=YCSB_TABLE,
+        start_key=None,
+        batch_tuples=1000,
+        num_batches=10,
+        label="batch",
+        tuples_per_second=None,
+    ):
+        """``tuples_per_second`` paces the ingest like a real stream source
+        (edge devices / user activity feeding COPY, §2.3.1); None ingests as
+        fast as the engine allows."""
+        self.cluster = cluster
+        self.session = cluster.session(node_id)
+        self.table = table
+        self.batch_tuples = batch_tuples
+        self.num_batches = num_batches
+        self.label = label
+        self.tuples_per_second = tuples_per_second
+        self.next_key = start_key
+        self.committed = 0
+        self.aborted = 0
+        self.tuples_ingested = 0
+        self.process = None
+        self.finished_at = None
+
+    def start(self):
+        self.process = self.cluster.spawn(self._run(), name="batch-ingest")
+        return self.process
+
+    def _batch_body(self, first_key):
+        batch_tuples = self.batch_tuples
+        table = self.table
+        rate = self.tuples_per_second
+        pace_chunk = 20
+
+        def body(session, txn):
+            for offset in range(batch_tuples):
+                key = first_key + offset
+                yield from session.insert(txn, table, key, {"f0": key})
+                if rate and offset % pace_chunk == pace_chunk - 1:
+                    yield pace_chunk / rate
+
+        return body
+
+    def _run(self):
+        self.cluster.metrics.mark("batch_workload_start")
+        for _batch in range(self.num_batches):
+            first_key = self.next_key
+            committed = False
+            while not committed:
+                committed, _error = yield from run_transaction(
+                    self.session,
+                    self._batch_body(first_key),
+                    label=self.label,
+                    process=self.process,
+                )
+                if committed:
+                    self.committed += 1
+                    self.tuples_ingested += self.batch_tuples
+                else:
+                    self.aborted += 1
+            self.next_key = first_key + self.batch_tuples
+        self.finished_at = self.cluster.sim.now
+        self.cluster.metrics.mark("batch_workload_end")
+
+
+class AnalyticalClient:
+    """Runs the hybrid-B duplicate-primary-key check (§4.3).
+
+    ``select count(*) from (select count(*)=1 from t group by aid) where ...``
+    — implemented as a snapshot scan of every shard followed by a duplicate
+    count. The result doubles as a consistency check: a correct migration
+    never produces duplicates or losses.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        node_id,
+        table=YCSB_TABLE,
+        label="analytical",
+        repeat=1,
+        pause=0.0,
+        start_delay=0.0,
+        per_row_cost=0.0,
+    ):
+        """``per_row_cost`` models the aggregation work per scanned row (the
+        paper's group-by over 100 M rows runs for tens of seconds);
+        ``start_delay`` lets experiments launch the query mid-scenario."""
+        self.cluster = cluster
+        self.session = cluster.session(node_id)
+        self.table = table
+        self.label = label
+        self.repeat = repeat
+        self.pause = pause
+        self.start_delay = start_delay
+        self.per_row_cost = per_row_cost
+        self.duplicates = None
+        self.rows_seen = None
+        self.committed = 0
+        self.aborted = 0
+        self.process = None
+        self.finished_at = None
+
+    def start(self):
+        self.process = self.cluster.spawn(self._run(), name="analytical")
+        return self.process
+
+    def _body(self):
+        client = self
+
+        def body(session, txn):
+            keys = yield from session.scan_table(txn, client.table)
+            if client.per_row_cost and keys:
+                # Group-by / aggregation work on the coordinator, in chunks.
+                total = client.per_row_cost * len(keys)
+                chunk = 0.1
+                while total > 0:
+                    step = min(chunk, total)
+                    yield session.node.cpu.use(step)
+                    total -= step
+            counts = Counter(keys)
+            client.duplicates = sum(1 for _k, c in counts.items() if c > 1)
+            client.rows_seen = len(keys)
+
+        return body
+
+    def _run(self):
+        if self.start_delay:
+            yield self.start_delay
+        self.cluster.metrics.mark("analytical_start")
+        for _i in range(self.repeat):
+            committed = False
+            while not committed:
+                committed, _error = yield from run_transaction(
+                    self.session, self._body(), label=self.label, process=self.process
+                )
+                if committed:
+                    self.committed += 1
+                else:
+                    self.aborted += 1
+            if self.pause:
+                yield self.pause
+        self.finished_at = self.cluster.sim.now
+        self.cluster.metrics.mark("analytical_end")

@@ -1,0 +1,327 @@
+"""The TPC-C workload of §4.3, scaled for the simulator.
+
+Eight warehouse-partitioned tables (the paper migrates "3 warehouses — a
+total of 24 shards given 8 TPC-C distributed tables"): warehouse, district,
+customer, history, orders, new_orders, order_line and stock. All tables
+share one collocation group keyed by warehouse id, so every transaction that
+touches a single warehouse runs on a single node; ~10 % of new-order and
+payment transactions pick a remote warehouse and become distributed (2PC).
+
+The five standard transactions are implemented against the interactive
+statement API: New-Order (45 %), Payment (43 %), Order-Status, Delivery and
+Stock-Level (4 % each). Row contention is faithful: New-Order serializes per
+district on ``d_next_o_id``, Payment updates the warehouse YTD row, Delivery
+consumes the oldest undelivered order per district.
+"""
+
+from dataclasses import dataclass
+
+from repro.cluster.shard import ValuePartitioner
+from repro.workloads.client import ClientPool, ClosedLoopClient
+
+TABLES = (
+    "warehouse",
+    "district",
+    "customer",
+    "history",
+    "orders",
+    "new_orders",
+    "order_line",
+    "stock",
+)
+
+_TUPLE_SIZES = {
+    "warehouse": 128,
+    "district": 128,
+    "customer": 512,
+    "history": 64,
+    "orders": 64,
+    "new_orders": 16,
+    "order_line": 64,
+    "stock": 256,
+}
+
+
+@dataclass
+class TpccConfig:
+    num_warehouses: int = 8
+    districts_per_warehouse: int = 4
+    customers_per_district: int = 20
+    items: int = 50  # stock rows per warehouse
+    initial_orders_per_district: int = 3
+    order_lines_min: int = 5
+    order_lines_max: int = 10
+    remote_txn_prob: float = 0.10  # distributed transaction share (§4.3)
+    mix: tuple = (0.45, 0.43, 0.04, 0.04, 0.04)  # NO, P, OS, D, SL
+    client_think: float = 0.015  # pacing per client (sim scale)
+
+
+class TpccWorkload:
+    """Builds the TPC-C schema/data and its per-warehouse clients."""
+
+    def __init__(self, cluster, config=None):
+        self.cluster = cluster
+        self.config = config or TpccConfig()
+        self._history_seq = {}
+
+    # ------------------------------------------------------------------
+    # Schema and loading
+    # ------------------------------------------------------------------
+    def create(self, placement_by_warehouse=None):
+        """Create all eight collocated tables.
+
+        ``placement_by_warehouse`` maps warehouse index (0-based) to node id;
+        the default spreads warehouses round-robin.
+        """
+        cfg = self.config
+        node_ids = self.cluster.node_ids()
+        if placement_by_warehouse is None:
+            placement_by_warehouse = {
+                w: node_ids[w % len(node_ids)] for w in range(cfg.num_warehouses)
+            }
+        for table in TABLES:
+            self.cluster.create_table(
+                table,
+                partitioner=ValuePartitioner(cfg.num_warehouses, lambda key: key[0] - 1),
+                tuple_size=_TUPLE_SIZES[table],
+                collocation_group="tpcc",
+                placement=placement_by_warehouse,
+            )
+        self._load()
+
+    def _load(self):
+        cfg = self.config
+        warehouses, districts, customers, stocks = [], [], [], []
+        orders, new_orders, order_lines = [], [], []
+        for w in range(1, cfg.num_warehouses + 1):
+            warehouses.append(((w,), {"ytd": 0.0}))
+            for i in range(1, cfg.items + 1):
+                stocks.append(((w, i), {"qty": 100, "price": 9.99, "ytd": 0}))
+            for d in range(1, cfg.districts_per_warehouse + 1):
+                next_o = cfg.initial_orders_per_district + 1
+                districts.append(
+                    ((w, d), {"ytd": 0.0, "next_o_id": next_o, "next_deliv_o_id": 1})
+                )
+                for c in range(1, cfg.customers_per_district + 1):
+                    customers.append(
+                        ((w, d, c), {"balance": 0.0, "payments": 0, "deliveries": 0})
+                    )
+                for o in range(1, cfg.initial_orders_per_district + 1):
+                    ol_cnt = cfg.order_lines_min
+                    orders.append(
+                        ((w, d, o), {"c_id": 1 + o % cfg.customers_per_district,
+                                     "ol_cnt": ol_cnt, "carrier": None})
+                    )
+                    new_orders.append(((w, d, o), {}))
+                    for ol in range(1, ol_cnt + 1):
+                        order_lines.append(
+                            ((w, d, o, ol), {"i_id": 1 + (o + ol) % cfg.items,
+                                             "qty": 5, "amount": 49.95})
+                        )
+        self.cluster.bulk_load("warehouse", warehouses)
+        self.cluster.bulk_load("district", districts)
+        self.cluster.bulk_load("customer", customers)
+        self.cluster.bulk_load("stock", stocks)
+        self.cluster.bulk_load("orders", orders)
+        self.cluster.bulk_load("new_orders", new_orders)
+        self.cluster.bulk_load("order_line", order_lines)
+
+    # ------------------------------------------------------------------
+    # Transaction bodies
+    # ------------------------------------------------------------------
+    def _pick_warehouses(self, rng, home):
+        """(home, supply) pair; ~remote_txn_prob of txns use a remote one."""
+        cfg = self.config
+        if cfg.num_warehouses > 1 and rng.random() < cfg.remote_txn_prob:
+            remote = home
+            while remote == home:
+                remote = rng.randint(1, cfg.num_warehouses)
+            return home, remote
+        return home, home
+
+    def new_order_body(self, rng, home):
+        cfg = self.config
+        w, supply_w = self._pick_warehouses(rng, home)
+        d = rng.randint(1, cfg.districts_per_warehouse)
+        c = rng.randint(1, cfg.customers_per_district)
+        ol_cnt = rng.randint(cfg.order_lines_min, cfg.order_lines_max)
+        # One supply warehouse per transaction; items sorted for lock order.
+        items = sorted(rng.sample(range(1, cfg.items + 1), min(ol_cnt, cfg.items)))
+
+        def body(session, txn):
+            yield from session.read(txn, "warehouse", (w,))
+            district = yield from session.lock_row(txn, "district", (w, d))
+            o_id = district["next_o_id"]
+            yield from session.update(
+                txn, "district", (w, d), dict(district, next_o_id=o_id + 1)
+            )
+            yield from session.read(txn, "customer", (w, d, c))
+            yield from session.insert(
+                txn, "orders", (w, d, o_id),
+                {"c_id": c, "ol_cnt": len(items), "carrier": None},
+            )
+            yield from session.insert(txn, "new_orders", (w, d, o_id), {})
+            for number, item in enumerate(items, start=1):
+                stock = yield from session.read(txn, "stock", (supply_w, item))
+                qty = stock["qty"] - 5
+                if qty < 10:
+                    qty += 91
+                yield from session.update(
+                    txn, "stock", (supply_w, item), dict(stock, qty=qty)
+                )
+                yield from session.insert(
+                    txn, "order_line", (w, d, o_id, number),
+                    {"i_id": item, "qty": 5, "amount": 5 * stock["price"]},
+                )
+
+        return body
+
+    def payment_body(self, rng, home):
+        cfg = self.config
+        w, customer_w = self._pick_warehouses(rng, home)
+        d = rng.randint(1, cfg.districts_per_warehouse)
+        c = rng.randint(1, cfg.customers_per_district)
+        amount = rng.uniform(1.0, 5000.0)
+        seq = self._history_seq.get(home, 0) + 1
+        self._history_seq[home] = seq
+
+        def body(session, txn):
+            warehouse = yield from session.lock_row(txn, "warehouse", (w,))
+            yield from session.update(
+                txn, "warehouse", (w,), {"ytd": warehouse["ytd"] + amount}
+            )
+            district = yield from session.lock_row(txn, "district", (w, d))
+            yield from session.update(
+                txn, "district", (w, d), dict(district, ytd=district["ytd"] + amount)
+            )
+            customer = yield from session.read(txn, "customer", (customer_w, d, c))
+            yield from session.update(
+                txn,
+                "customer",
+                (customer_w, d, c),
+                dict(
+                    customer,
+                    balance=customer["balance"] - amount,
+                    payments=customer["payments"] + 1,
+                ),
+            )
+            yield from session.insert(
+                txn, "history", (home, "h", seq), {"amount": amount, "w": w, "d": d}
+            )
+
+        return body
+
+    def order_status_body(self, rng, home):
+        cfg = self.config
+        d = rng.randint(1, cfg.districts_per_warehouse)
+        c = rng.randint(1, cfg.customers_per_district)
+
+        def body(session, txn):
+            yield from session.read(txn, "customer", (home, d, c))
+            district = yield from session.read(txn, "district", (home, d))
+            latest_o = district["next_o_id"] - 1
+            order = yield from session.read(txn, "orders", (home, d, latest_o))
+            if order is not None:
+                for ol in range(1, order["ol_cnt"] + 1):
+                    yield from session.read(txn, "order_line", (home, d, latest_o, ol))
+
+        return body
+
+    def delivery_body(self, rng, home):
+        cfg = self.config
+
+        def body(session, txn):
+            for d in range(1, cfg.districts_per_warehouse + 1):
+                district = yield from session.lock_row(txn, "district", (home, d))
+                o_id = district["next_deliv_o_id"]
+                if o_id >= district["next_o_id"]:
+                    continue  # nothing to deliver in this district
+                yield from session.update(
+                    txn, "district", (home, d), dict(district, next_deliv_o_id=o_id + 1)
+                )
+                yield from session.delete(txn, "new_orders", (home, d, o_id))
+                order = yield from session.read(txn, "orders", (home, d, o_id))
+                yield from session.update(
+                    txn, "orders", (home, d, o_id), dict(order, carrier=rng.randint(1, 10))
+                )
+                customer_key = (home, d, order["c_id"])
+                customer = yield from session.read(txn, "customer", customer_key)
+                yield from session.update(
+                    txn,
+                    "customer",
+                    customer_key,
+                    dict(customer, deliveries=customer["deliveries"] + 1),
+                )
+
+        return body
+
+    def stock_level_body(self, rng, home):
+        cfg = self.config
+        d = rng.randint(1, cfg.districts_per_warehouse)
+
+        def body(session, txn):
+            district = yield from session.read(txn, "district", (home, d))
+            latest_o = district["next_o_id"] - 1
+            seen_items = set()
+            for o in range(max(1, latest_o - 4), latest_o + 1):
+                order = yield from session.read(txn, "orders", (home, d, o))
+                if order is None:
+                    continue
+                for ol in range(1, order["ol_cnt"] + 1):
+                    line = yield from session.read(txn, "order_line", (home, d, o, ol))
+                    if line is not None:
+                        seen_items.add(line["i_id"])
+            for item in sorted(seen_items):
+                yield from session.read(txn, "stock", (home, item))
+
+        return body
+
+    # ------------------------------------------------------------------
+    # Clients
+    # ------------------------------------------------------------------
+    def body_factory(self, rng, home):
+        mix = self.config.mix
+        makers = (
+            self.new_order_body,
+            self.payment_body,
+            self.order_status_body,
+            self.delivery_body,
+            self.stock_level_body,
+        )
+
+        def factory():
+            draw = rng.random()
+            cumulative = 0.0
+            for probability, maker in zip(mix, makers):
+                cumulative += probability
+                if draw < cumulative:
+                    return maker(rng, home)
+            return makers[-1](rng, home)
+
+        return factory
+
+    def make_clients(self, label="tpcc", clients_per_warehouse=1):
+        """One client per warehouse by default (the paper starts the same
+        number of clients as warehouses), coordinated by the warehouse's
+        initial home node."""
+        clients = []
+        for w in range(1, self.config.num_warehouses + 1):
+            warehouse_shard = self.cluster.tables["warehouse"].shard_for_key((w,))
+            home_node = self.cluster.shard_owner(warehouse_shard)
+
+            def resolver(shard=warehouse_shard):
+                return self.cluster.shard_owner(shard)
+
+            for j in range(clients_per_warehouse):
+                rng = self.cluster.sim.rng("tpcc-client-{}-{}".format(w, j))
+                clients.append(
+                    ClosedLoopClient(
+                        self.cluster,
+                        home_node,
+                        self.body_factory(rng, w),
+                        label,
+                        think_time=self.config.client_think,
+                        node_resolver=resolver,
+                    )
+                )
+        return ClientPool(clients)

@@ -1,0 +1,132 @@
+"""The YCSB workload of §4.3.
+
+50 % reads / 50 % updates over a keyspace of 1 KB tuples, executed in
+multi-statement interactive mode: each read/update statement is its own
+BEGIN/COMMIT transaction, so the write set is unknown before execution
+(which is what forces wait-and-remaster to wait for *every* on-the-fly
+transaction).
+
+Three access patterns:
+
+- ``uniform`` — keys drawn uniformly (hybrid workloads A/B, §4.4);
+- ``zipfian`` — zipf-distributed keys;
+- ``hotspot`` — a fraction of accesses targets the shards of one node (the
+  load-balancing scenario of §4.5, "50 hotspot shards on one of six nodes").
+"""
+
+from dataclasses import dataclass
+
+from repro.workloads.client import ClientPool, ClosedLoopClient
+from repro.workloads.zipf import ZipfGenerator
+
+TABLE = "ycsb"
+
+
+@dataclass
+class YcsbConfig:
+    num_tuples: int = 10_000
+    tuple_size: int = 1024
+    num_shards: int = 36
+    read_ratio: float = 0.5
+    distribution: str = "uniform"  # uniform | zipfian | hotspot
+    zipf_theta: float = 0.99
+    hotspot_fraction: float = 0.9  # share of ops hitting the hot shards
+    num_clients: int = 40
+    think_time: float = 0.0
+
+
+class YcsbWorkload:
+    """Builds the YCSB table and its closed-loop clients."""
+
+    def __init__(self, cluster, config=None):
+        self.cluster = cluster
+        self.config = config or YcsbConfig()
+        self.schema = None
+        self._zipf = None
+        self._keys_by_shard = None
+        self.hot_shards = []
+        self.pool = None
+        self.max_key = self.config.num_tuples - 1
+
+    # ------------------------------------------------------------------
+    def create(self):
+        cfg = self.config
+        self.schema = self.cluster.create_table(
+            TABLE, num_shards=cfg.num_shards, tuple_size=cfg.tuple_size
+        )
+        rows = [(key, {"f0": key}) for key in range(cfg.num_tuples)]
+        self.cluster.bulk_load(TABLE, rows)
+        if cfg.distribution == "zipfian":
+            self._zipf = ZipfGenerator(cfg.num_tuples, cfg.zipf_theta)
+        if cfg.distribution == "hotspot":
+            self._keys_by_shard = {}
+            for key in range(cfg.num_tuples):
+                shard = self.schema.shard_for_key(key)
+                self._keys_by_shard.setdefault(shard, []).append(key)
+        return self.schema
+
+    def set_hot_node(self, node_id, num_hot_shards=None):
+        """Make ``node_id``'s shards the hotspot (load-balancing scenario).
+
+        Only shards that actually hold keys qualify — at small scale a
+        consistent-hash shard can be empty.
+        """
+        if self._keys_by_shard is None:
+            self._keys_by_shard = {}
+            for key in range(self.config.num_tuples):
+                shard = self.schema.shard_for_key(key)
+                self._keys_by_shard.setdefault(shard, []).append(key)
+        shards = [
+            s
+            for s in self.cluster.shards_on_node(node_id, table=TABLE)
+            if self._keys_by_shard.get(s)
+        ]
+        if num_hot_shards is not None:
+            shards = shards[:num_hot_shards]
+        self.hot_shards = shards
+
+    # ------------------------------------------------------------------
+    def pick_key(self, rng):
+        cfg = self.config
+        if cfg.distribution == "zipfian":
+            return self._zipf.sample(rng)
+        if cfg.distribution == "hotspot" and self.hot_shards:
+            if rng.random() < cfg.hotspot_fraction:
+                shard = rng.choice(self.hot_shards)
+                return rng.choice(self._keys_by_shard[shard])
+            return rng.randint(0, cfg.num_tuples - 1)
+        return rng.randint(0, cfg.num_tuples - 1)
+
+    def body_factory(self, rng):
+        """One interactive YCSB transaction: a single read or update."""
+
+        def factory():
+            def body(session, txn):
+                key = self.pick_key(rng)
+                if rng.random() < self.config.read_ratio:
+                    yield from session.read(txn, TABLE, key)
+                else:
+                    yield from session.update(txn, TABLE, key, {"f0": rng.randint(0, 1 << 30)})
+
+            return body
+
+        return factory
+
+    def make_clients(self, label="ycsb", num_clients=None, nodes=None):
+        cfg = self.config
+        num_clients = num_clients or cfg.num_clients
+        nodes = nodes or self.cluster.node_ids()
+        clients = []
+        for i in range(num_clients):
+            rng = self.cluster.sim.rng("ycsb-client-{}".format(i))
+            clients.append(
+                ClosedLoopClient(
+                    self.cluster,
+                    nodes[i % len(nodes)],
+                    self.body_factory(rng),
+                    label,
+                    think_time=cfg.think_time,
+                )
+            )
+        self.pool = ClientPool(clients)
+        return self.pool

@@ -1,0 +1,30 @@
+"""Zipfian sampling (the YCSB skewed access pattern)."""
+
+import bisect
+import math
+
+
+class ZipfGenerator:
+    """Samples integers in [0, n) with a Zipf distribution.
+
+    Uses the standard inverse-CDF method over precomputed cumulative weights;
+    ``theta`` is the YCSB skew constant (0.99 by default).
+    """
+
+    def __init__(self, n, theta=0.99):
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        self.n = n
+        self.theta = theta
+        weights = [1.0 / math.pow(i + 1, theta) for i in range(n)]
+        total = 0.0
+        self._cumulative = []
+        for weight in weights:
+            total += weight
+            self._cumulative.append(total)
+        self._total = total
+
+    def sample(self, rng):
+        """Draw one rank using ``rng`` (an RngStream or random.Random)."""
+        target = rng.random() * self._total
+        return bisect.bisect_left(self._cumulative, target)

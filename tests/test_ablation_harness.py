@@ -1,0 +1,27 @@
+"""Fast checks of the ablation harness code paths (full runs live in
+benchmarks/test_ablations.py)."""
+
+from repro.experiments.ablations import (
+    run_counter_correctness,
+    run_timestamp_scheme_ablation,
+)
+
+
+def test_counter_correctness_with_prepare_wait_is_exact():
+    result = run_counter_correctness(prepare_wait=True, duration=0.5, num_clients=4)
+    assert result["committed"] > 20
+    assert result["lost_updates"] == 0
+
+
+def test_counter_correctness_without_prepare_wait_loses_updates():
+    result = run_counter_correctness(
+        prepare_wait=False, duration=1.0, num_keys=4, num_clients=8
+    )
+    assert result["lost_updates"] > 0
+
+
+def test_timestamp_ablation_prefers_dts():
+    dts = run_timestamp_scheme_ablation("dts", duration=0.5)
+    gts = run_timestamp_scheme_ablation("gts", duration=0.5)
+    assert dts["throughput"] > gts["throughput"]
+    assert dts["avg_latency"] < gts["avg_latency"]

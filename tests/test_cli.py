@@ -1,0 +1,29 @@
+"""Tests for the command-line interface (argument handling only; the heavy
+scenario executions are covered by the experiment smoke tests)."""
+
+import pytest
+
+from repro.cli import SCENARIOS, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for scenario in SCENARIOS:
+        assert scenario in out
+    assert "remus" in out
+
+
+def test_experiment_requires_known_scenario():
+    with pytest.raises(SystemExit):
+        main(["experiment", "nonsense"])
+
+
+def test_experiment_requires_known_approach():
+    with pytest.raises(SystemExit):
+        main(["experiment", "hybrid_a", "--approach", "teleport"])
+
+
+def test_missing_command_errors():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,306 @@
+"""Integration tests: transactions on the simulated cluster (no migration)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.txn.errors import SerializationFailure, UniqueViolation
+
+
+def make_cluster(num_nodes=3, scheme="dts", **kwargs):
+    config = ClusterConfig(num_nodes=num_nodes, timestamp_scheme=scheme, **kwargs)
+    return Cluster(config)
+
+
+@pytest.fixture
+def cluster():
+    c = make_cluster()
+    c.create_table("kv", num_shards=6, tuple_size=100)
+    c.bulk_load("kv", [(k, {"v": k}) for k in range(100)])
+    return c
+
+
+def run(cluster, gen):
+    return cluster.sim.run_until_complete(cluster.spawn(gen))
+
+
+def simple_txn(session, ops):
+    """Run a list of (op, key[, value]) and commit; returns results."""
+
+    def body():
+        txn = yield from session.begin(label="test")
+        results = []
+        for op in ops:
+            if op[0] == "read":
+                results.append((yield from session.read(txn, "kv", op[1])))
+            elif op[0] == "update":
+                results.append((yield from session.update(txn, "kv", op[1], op[2])))
+            elif op[0] == "insert":
+                results.append((yield from session.insert(txn, "kv", op[1], op[2])))
+            elif op[0] == "delete":
+                results.append((yield from session.delete(txn, "kv", op[1])))
+        yield from session.commit(txn)
+        return results
+
+    return body()
+
+
+def test_read_committed_data(cluster):
+    session = cluster.session("node-1")
+    results = run(cluster, simple_txn(session, [("read", 5)]))
+    assert results == [{"v": 5}]
+
+
+def test_read_missing_key_returns_none(cluster):
+    session = cluster.session("node-1")
+    results = run(cluster, simple_txn(session, [("read", 999)]))
+    assert results == [None]
+
+
+def test_update_then_read_in_same_txn(cluster):
+    session = cluster.session("node-1")
+    results = run(
+        cluster,
+        simple_txn(session, [("update", 5, {"v": 50}), ("read", 5)]),
+    )
+    assert results == [True, {"v": 50}]
+
+
+def test_update_visible_to_later_txn(cluster):
+    session = cluster.session("node-1")
+    run(cluster, simple_txn(session, [("update", 5, {"v": 50})]))
+    results = run(cluster, simple_txn(session, [("read", 5)]))
+    assert results == [{"v": 50}]
+
+
+def test_update_visible_from_other_node(cluster):
+    run(cluster, simple_txn(cluster.session("node-1"), [("update", 5, {"v": 50})]))
+    results = run(cluster, simple_txn(cluster.session("node-2"), [("read", 5)]))
+    assert results == [{"v": 50}]
+
+
+def test_insert_and_read_back(cluster):
+    session = cluster.session("node-2")
+    run(cluster, simple_txn(session, [("insert", 500, {"v": "new"})]))
+    results = run(cluster, simple_txn(session, [("read", 500)]))
+    assert results == [{"v": "new"}]
+
+
+def test_insert_duplicate_raises_unique_violation(cluster):
+    session = cluster.session("node-1")
+    with pytest.raises(UniqueViolation):
+        run(cluster, simple_txn(session, [("insert", 5, {"v": "dup"})]))
+
+
+def test_delete_makes_row_invisible(cluster):
+    session = cluster.session("node-1")
+    run(cluster, simple_txn(session, [("delete", 5)]))
+    results = run(cluster, simple_txn(session, [("read", 5)]))
+    assert results == [None]
+
+
+def test_reinsert_after_delete(cluster):
+    session = cluster.session("node-1")
+    run(cluster, simple_txn(session, [("delete", 5)]))
+    run(cluster, simple_txn(session, [("insert", 5, {"v": "again"})]))
+    results = run(cluster, simple_txn(session, [("read", 5)]))
+    assert results == [{"v": "again"}]
+
+
+def test_snapshot_isolation_repeatable_read(cluster):
+    """A long transaction does not see a concurrent committed update."""
+    session_a = cluster.session("node-1")
+    session_b = cluster.session("node-2")
+    observed = []
+
+    def long_reader():
+        txn = yield from session_a.begin(label="long")
+        first = yield from session_a.read(txn, "kv", 5)
+        yield 1.0  # concurrent writer commits in this window
+        second = yield from session_a.read(txn, "kv", 5)
+        yield from session_a.commit(txn)
+        observed.append((first, second))
+
+    def writer():
+        yield 0.2
+        txn = yield from session_b.begin(label="writer")
+        yield from session_b.update(txn, "kv", 5, {"v": "changed"})
+        yield from session_b.commit(txn)
+
+    cluster.spawn(long_reader())
+    cluster.spawn(writer())
+    cluster.sim.run()
+    assert observed == [({"v": 5}, {"v": 5})]
+
+
+def test_ww_conflict_first_updater_wins(cluster):
+    """Two concurrent updates to one row: the second to commit aborts."""
+    session_a = cluster.session("node-1")
+    session_b = cluster.session("node-2")
+    outcome = {}
+
+    def updater(name, session, delay):
+        yield delay
+        txn = yield from session.begin(label=name)
+        try:
+            yield from session.update(txn, "kv", 7, {"v": name})
+            yield 0.5  # hold the row lock so the other txn queues behind us
+            yield from session.commit(txn)
+            outcome[name] = "committed"
+        except SerializationFailure:
+            yield from session.abort(txn)
+            outcome[name] = "aborted"
+
+    cluster.spawn(updater("a", session_a, 0.0))
+    cluster.spawn(updater("b", session_b, 0.1))
+    cluster.sim.run()
+    assert outcome == {"a": "committed", "b": "aborted"}
+
+
+def test_non_conflicting_concurrent_updates_both_commit(cluster):
+    session_a = cluster.session("node-1")
+    session_b = cluster.session("node-2")
+    outcome = {}
+
+    def updater(name, session, key):
+        txn = yield from session.begin(label=name)
+        yield from session.update(txn, "kv", key, {"v": name})
+        yield from session.commit(txn)
+        outcome[name] = "committed"
+
+    cluster.spawn(updater("a", session_a, 11))
+    cluster.spawn(updater("b", session_b, 12))
+    cluster.sim.run()
+    assert outcome == {"a": "committed", "b": "committed"}
+
+
+def test_distributed_txn_updates_multiple_nodes(cluster):
+    """A transaction writing shards on different nodes commits via 2PC."""
+    session = cluster.session("node-1")
+    # find two keys on different nodes
+    schema = cluster.tables["kv"]
+    keys_by_node = {}
+    for key in range(100):
+        owner = cluster.shard_owner(schema.shard_for_key(key))
+        keys_by_node.setdefault(owner, key)
+        if len(keys_by_node) >= 2:
+            break
+    key_a, key_b = list(keys_by_node.values())[:2]
+
+    def body():
+        txn = yield from session.begin(label="dist")
+        yield from session.update(txn, "kv", key_a, {"v": "A"})
+        yield from session.update(txn, "kv", key_b, {"v": "B"})
+        assert txn.is_distributed
+        cts = yield from session.commit(txn)
+        return cts
+
+    run(cluster, body())
+    dump = cluster.dump_table("kv")
+    assert dump[key_a] == {"v": "A"}
+    assert dump[key_b] == {"v": "B"}
+
+
+def test_abort_rolls_back_changes(cluster):
+    session = cluster.session("node-1")
+
+    def body():
+        txn = yield from session.begin(label="rollback")
+        yield from session.update(txn, "kv", 5, {"v": "junk"})
+        yield from session.abort(txn)
+
+    run(cluster, body())
+    results = run(cluster, simple_txn(session, [("read", 5)]))
+    assert results == [{"v": 5}]
+
+
+def test_commit_timestamps_increase_per_session(cluster):
+    session = cluster.session("node-1")
+    cts_list = []
+
+    def one():
+        txn = yield from session.begin()
+        yield from session.update(txn, "kv", 3, {"v": "x"})
+        cts = yield from session.commit(txn)
+        cts_list.append(cts)
+
+    run(cluster, one())
+    run(cluster, one())
+    assert cts_list[1] > cts_list[0]
+
+
+def test_read_only_commit_is_cheap_and_counted(cluster):
+    session = cluster.session("node-1")
+    before = len(cluster.metrics.commits)
+    run(cluster, simple_txn(session, [("read", 1)]))
+    assert len(cluster.metrics.commits) == before + 1
+
+
+def test_metrics_record_aborts(cluster):
+    session = cluster.session("node-1")
+
+    def body():
+        txn = yield from session.begin(label="bad")
+        try:
+            yield from session.insert(txn, "kv", 5, {"v": "dup"})
+        except UniqueViolation as exc:
+            yield from session.abort(txn, reason=exc)
+
+    run(cluster, body())
+    assert cluster.metrics.abort_count(kind="unique") == 1
+
+
+def test_gts_scheme_runs_transactions():
+    cluster = make_cluster(scheme="gts")
+    cluster.create_table("kv", num_shards=3, tuple_size=100)
+    cluster.bulk_load("kv", [(k, k) for k in range(10)])
+    session = cluster.session("node-1")
+    results = run(cluster, simple_txn(session, [("read", 4), ("update", 4, 44)]))
+    assert results == [4, True]
+
+
+def test_dts_clock_skew_still_consistent_per_session():
+    cluster = make_cluster(scheme="dts", clock_skew=0.01)
+    cluster.create_table("kv", num_shards=3, tuple_size=100)
+    cluster.bulk_load("kv", [(k, k) for k in range(10)])
+    session = cluster.session("node-2")
+    run(cluster, simple_txn(session, [("update", 4, 44)]))
+    results = run(cluster, simple_txn(session, [("read", 4)]))
+    assert results == [44]
+
+
+def test_shard_lock_mode_serializes_writers_per_shard(cluster):
+    cluster.cc_mode = "shard_lock"
+    session_a = cluster.session("node-1")
+    session_b = cluster.session("node-2")
+    times = {}
+
+    def writer(name, session, key, delay):
+        yield delay
+        txn = yield from session.begin(label=name)
+        yield from session.update(txn, "kv", key, {"v": name})
+        yield 0.5  # hold the shard lock
+        yield from session.commit(txn)
+        times[name] = cluster.sim.now
+
+    schema = cluster.tables["kv"]
+    shard = schema.shard_for_key(20)
+    # find another key in the same shard
+    other = next(
+        k for k in range(100, 10000) if schema.shard_for_key(k) == shard
+    )
+    cluster.bulk_load("kv", [(other, {"v": 0})])
+    cluster.spawn(writer("a", session_a, 20, 0.0))
+    cluster.spawn(writer("b", session_b, other, 0.01))
+    cluster.sim.run()
+    # Different rows, same shard: under shard locking b waits for a.
+    assert times["b"] >= times["a"]
+
+
+def test_dump_table_reflects_latest_committed(cluster):
+    session = cluster.session("node-1")
+    run(cluster, simple_txn(session, [("update", 0, {"v": "zero"}), ("delete", 1)]))
+    dump = cluster.dump_table("kv")
+    assert dump[0] == {"v": "zero"}
+    assert 1 not in dump
+    assert len(dump) == 99

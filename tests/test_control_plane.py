@@ -1,0 +1,83 @@
+"""Tests for the migration controller (control plane)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.control_plane import MigrationController
+from repro.config import ClusterConfig
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(ClusterConfig(num_nodes=3))
+    c.create_table("kv", num_shards=9, tuple_size=64)
+    c.bulk_load("kv", [(k, {"v": k}) for k in range(300)])
+    return c
+
+
+def test_controller_rejects_unknown_approach(cluster):
+    with pytest.raises(ValueError, match="unknown approach"):
+        MigrationController(cluster, approach="teleport")
+
+
+def test_plan_consolidation_covers_source(cluster):
+    controller = MigrationController(cluster, approach="remus")
+    plan = controller.plan_consolidation("node-1", table="kv", group_size=1)
+    moved = [s for group, _s, _d in plan.batches for s in group]
+    assert set(moved) == set(cluster.shards_on_node("node-1", table="kv"))
+
+
+def test_execute_consolidation_drains_node(cluster):
+    controller = MigrationController(cluster, approach="remus")
+    plan = controller.plan_consolidation("node-1", table="kv")
+    proc = controller.start(plan)
+    cluster.run(until=30.0)
+    assert proc.finished
+    proc.result()
+    assert cluster.shards_on_node("node-1", table="kv") == []
+    assert len(cluster.dump_table("kv")) == 300
+    assert controller.completed_plans == [plan]
+
+
+def test_plan_balance_spreads_over_targets(cluster):
+    controller = MigrationController(cluster, approach="remus")
+    plan = controller.plan_balance("node-2", fraction=1.0, group_size=2)
+    destinations = {dest for _g, _s, dest in plan.batches}
+    assert "node-2" not in destinations
+    assert destinations <= {"node-1", "node-3"}
+
+
+def test_plan_scale_out_moves_groups(cluster):
+    cluster.add_node("node-4")
+    controller = MigrationController(cluster, approach="remus")
+    groups = [[s] for s in cluster.shards_on_node("node-1", table="kv")[:2]]
+    plan = controller.plan_scale_out("node-1", "node-4", groups)
+    proc = controller.start(plan)
+    cluster.run(until=30.0)
+    assert proc.finished
+    for group in groups:
+        for shard in group:
+            assert cluster.shard_owner(shard) == "node-4"
+
+
+def test_busiest_node_detects_hotspot(cluster):
+    # Drive CPU work on node-3 only.
+    node = cluster.nodes["node-3"]
+
+    def burn():
+        for _ in range(50):
+            yield node.cpu.use(0.01)
+
+    cluster.spawn(burn())
+    cluster.run(until=1.0)
+    controller = MigrationController(cluster, approach="remus")
+    assert controller.busiest_node(window=1.0) == "node-3"
+
+
+def test_controller_works_with_baseline_approaches(cluster):
+    controller = MigrationController(cluster, approach="wait_and_remaster")
+    plan = controller.plan_consolidation("node-1", table="kv", group_size=3)
+    proc = controller.start(plan)
+    cluster.run(until=30.0)
+    assert proc.finished
+    assert cluster.shards_on_node("node-1", table="kv") == []

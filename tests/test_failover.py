@@ -1,0 +1,131 @@
+"""Node failure / failover tests (§3.7's fault-tolerance model)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.migration import RemusMigration
+from repro.migration.recovery import crash_migration, recover_migration
+from repro.workloads.ycsb import YcsbConfig, YcsbWorkload
+
+
+def build(replication=1):
+    cluster = Cluster(ClusterConfig(num_nodes=3, replication_factor=replication))
+    workload = YcsbWorkload(
+        cluster,
+        YcsbConfig(num_tuples=600, num_shards=6, num_clients=6,
+                   tuple_size=256, think_time=0.004),
+    )
+    workload.create()
+    return cluster, workload
+
+
+def test_replication_adds_commit_latency():
+    plain, _w = build(replication=0)
+    replicated, _w2 = build(replication=2)
+    assert replicated.nodes["node-1"].manager.extra_flush_latency > 0
+    assert plain.nodes["node-1"].manager.extra_flush_latency == 0
+
+
+def test_failed_node_blocks_new_work_until_failover():
+    cluster, workload = build()
+    session = cluster.session("node-2")
+    key = sorted(cluster.nodes["node-1"].heaps[
+        cluster.shards_on_node("node-1", table="ycsb")[0]
+    ].keys())[0]
+    times = {}
+
+    def reader():
+        yield 0.1  # after the failure below
+        txn = yield from session.begin(label="r")
+        value = yield from session.read(txn, "ycsb", key)
+        yield from session.commit(txn)
+        times["done"] = cluster.sim.now
+        times["value"] = value
+
+    cluster.spawn(reader())
+    cluster.fail_node("node-1", failover_time=1.0)
+    cluster.run(until=5.0)
+    # The read had to wait for the failover to complete.
+    assert times["done"] >= 1.0
+    assert times["value"] == {"f0": key}
+
+
+def test_failover_aborts_in_flight_txns_but_keeps_committed_data():
+    cluster, workload = build()
+    pool = workload.make_clients()
+    pool.start()
+    cluster.run(until=0.5)
+    cluster.fail_node("node-2", failover_time=0.5)
+    cluster.run(until=3.0)
+    pool.stop()
+    cluster.run(until=3.5)
+    # Some transactions died with the node; all committed data survives.
+    assert len(cluster.dump_table("ycsb")) == workload.config.num_tuples
+    assert cluster.metrics.abort_count(kind="migration") >= 0
+    crashes = [
+        (p.name, e) for p, e in cluster.sim.failed_processes
+    ]
+    assert not crashes, crashes
+
+
+def test_throughput_dips_during_failover_and_recovers():
+    cluster, workload = build()
+    pool = workload.make_clients()
+    pool.start()
+    cluster.run(until=1.0)
+    cluster.fail_node("node-1", failover_time=1.0)
+    cluster.run(until=4.0)
+    pool.stop()
+    cluster.run(until=4.5)
+    metrics = cluster.metrics
+    before = metrics.average_throughput(label="ycsb", start=0.2, end=1.0)
+    during = metrics.average_throughput(label="ycsb", start=1.1, end=1.9)
+    after = metrics.average_throughput(label="ycsb", start=2.5, end=4.0)
+    assert during < 0.8 * before
+    assert after > during
+
+
+def test_source_failure_mid_migration_then_recovery():
+    """Crash the migration source before T_m; fail the node over; run the
+    §3.7 recovery: the migration rolls back and can be retried."""
+    from repro.config import CostModel
+
+    cluster = Cluster(
+        ClusterConfig(
+            num_nodes=3,
+            replication_factor=1,
+            costs=CostModel(snapshot_scan_per_tuple=2e-3),
+        )
+    )
+    workload = YcsbWorkload(
+        cluster,
+        YcsbConfig(num_tuples=600, num_shards=6, num_clients=4,
+                   tuple_size=256, think_time=0.004),
+    )
+    workload.create()
+    pool = workload.make_clients()
+    pool.start()
+    cluster.run(until=0.5)
+    shard = cluster.shards_on_node("node-1", table="ycsb")[0]
+    migration = RemusMigration(cluster, [shard], "node-1", "node-2")
+    proc = cluster.spawn(migration.run(), name="migration")
+    cluster.run(until=0.6)  # mid snapshot copy
+    assert migration.stats.tm_commit_ts is None
+    # The source primary dies: the migration machinery dies with it.
+    proc.interrupt("source node failed")
+    cluster.fail_node("node-1", failover_time=0.5)
+    cluster.run(until=1.5)
+    residual = crash_migration(migration)
+    recovery = cluster.spawn(recover_migration(cluster, migration, residual))
+    cluster.run(until=10.0)
+    assert recovery.result() == "rolled_back"
+    # Retry after failover succeeds.
+    retry = RemusMigration(cluster, [shard], "node-1", "node-2")
+    retry_proc = cluster.spawn(retry.run())
+    cluster.run(until=40.0)
+    retry_proc.result()
+    assert cluster.shard_owner(shard) == "node-2"
+    pool.stop()
+    cluster.run(until=41.0)
+    assert len(cluster.dump_table("ycsb")) == workload.config.num_tuples

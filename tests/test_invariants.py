@@ -1,0 +1,141 @@
+"""End-to-end invariants: no lost updates, SI consistency across migration.
+
+The canonical SI check: concurrent read-modify-write increments with retry
+must never lose an update — the final counter values must sum to exactly the
+number of committed increment transactions — including while Remus migrates
+the shards the counters live in.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.migration import MigrationPlan, RemusMigration, run_plan
+from repro.txn.errors import TransactionError
+from repro.workloads.client import run_transaction
+
+
+def increment_body(key):
+    def body(session, txn):
+        row = yield from session.read(txn, "counters", key)
+        yield from session.update(txn, "counters", key, {"n": row["n"] + 1})
+
+    return body
+
+
+def run_counter_workload(cluster, num_keys, num_clients, duration, migrate=False):
+    committed = {"count": 0}
+
+    def client(client_id):
+        rng = cluster.sim.rng("counter-{}".format(client_id))
+        session = cluster.session(
+            cluster.node_ids()[client_id % len(cluster.node_ids())]
+        )
+
+        def loop():
+            while cluster.sim.now < duration:
+                key = rng.randint(0, num_keys - 1)
+                ok, _err = yield from run_transaction(
+                    session, increment_body(key), label="inc"
+                )
+                if ok:
+                    committed["count"] += 1
+                yield 0.001
+
+        return loop()
+
+    for i in range(num_clients):
+        cluster.spawn(client(i))
+
+    migration_proc = None
+    if migrate:
+        def migrate_all():
+            yield duration * 0.2
+            shards = cluster.shards_on_node("node-1", table="counters")
+            batches = [([s], "node-1", "node-2") for s in shards]
+            plan = MigrationPlan(RemusMigration, batches)
+            yield from run_plan(cluster, plan)
+
+        migration_proc = cluster.spawn(migrate_all(), name="migration")
+
+    cluster.run(until=duration + 5.0)
+    if migration_proc is not None:
+        assert migration_proc.finished
+        migration_proc.result()
+    return committed["count"]
+
+
+def check_counter_sum(cluster, num_keys, expected_increments):
+    dump = cluster.dump_table("counters")
+    assert len(dump) == num_keys
+    total = sum(row["n"] for row in dump.values())
+    assert total == expected_increments, (total, expected_increments)
+
+
+@pytest.mark.parametrize("migrate", [False, True])
+def test_no_lost_updates_under_contention(migrate):
+    cluster = Cluster(ClusterConfig(num_nodes=3))
+    cluster.create_table("counters", num_shards=6, tuple_size=64)
+    num_keys = 20
+    cluster.bulk_load("counters", [(k, {"n": 0}) for k in range(num_keys)])
+    committed = run_counter_workload(
+        cluster, num_keys, num_clients=8, duration=2.0, migrate=migrate
+    )
+    assert committed > 100
+    check_counter_sum(cluster, num_keys, committed)
+    crashes = [(p.name, e) for p, e in cluster.sim.failed_processes]
+    assert not crashes, crashes
+
+
+def test_no_lost_updates_with_gts_scheme():
+    cluster = Cluster(ClusterConfig(num_nodes=3, timestamp_scheme="gts"))
+    cluster.create_table("counters", num_shards=4, tuple_size=64)
+    cluster.bulk_load("counters", [(k, {"n": 0}) for k in range(10)])
+    committed = run_counter_workload(cluster, 10, num_clients=6, duration=1.0)
+    assert committed > 50
+    check_counter_sum(cluster, 10, committed)
+
+
+def test_no_lost_updates_with_clock_skew():
+    cluster = Cluster(ClusterConfig(num_nodes=3, clock_skew=0.005))
+    cluster.create_table("counters", num_shards=4, tuple_size=64)
+    cluster.bulk_load("counters", [(k, {"n": 0}) for k in range(10)])
+    committed = run_counter_workload(
+        cluster, 10, num_clients=6, duration=1.5, migrate=True
+    )
+    assert committed > 50
+    check_counter_sum(cluster, 10, committed)
+
+
+def test_read_only_scan_is_transactionally_consistent_during_migration():
+    """Repeated full scans during a migration always see a complete table."""
+    cluster = Cluster(ClusterConfig(num_nodes=3))
+    cluster.create_table("counters", num_shards=6, tuple_size=64)
+    num_keys = 200
+    cluster.bulk_load("counters", [(k, {"n": 0}) for k in range(num_keys)])
+    session = cluster.session("node-3")
+    scans = []
+
+    def scanner():
+        while cluster.sim.now < 3.0:
+            txn = yield from session.begin(label="scan")
+            keys = yield from session.scan_table(txn, "counters")
+            try:
+                yield from session.commit(txn)
+                scans.append(len(keys))
+            except TransactionError:
+                yield from session.abort(txn)
+            yield 0.05
+
+    def migrate():
+        yield 0.2
+        shards = cluster.shards_on_node("node-1", table="counters")
+        plan = MigrationPlan(RemusMigration, [(shards, "node-1", "node-2")])
+        yield from run_plan(cluster, plan)
+
+    cluster.spawn(scanner())
+    proc = cluster.spawn(migrate())
+    cluster.run(until=10.0)
+    assert proc.finished
+    assert len(scans) > 10
+    assert all(count == num_keys for count in scans), set(scans)

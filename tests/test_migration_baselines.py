@@ -1,0 +1,293 @@
+"""Integration tests for the baseline migration approaches."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.migration import (
+    LockAndAbortMigration,
+    MigrationPlan,
+    SquallMigration,
+    StopAndCopyMigration,
+    WaitAndRemasterMigration,
+    run_plan,
+)
+from repro.workloads.client import run_transaction
+from repro.workloads.ycsb import YcsbConfig, YcsbWorkload
+
+
+def build(num_nodes=3, num_tuples=600, num_shards=6, num_clients=6, cc_mode="mvcc"):
+    cluster = Cluster(ClusterConfig(num_nodes=num_nodes))
+    cluster.cc_mode = cc_mode
+    workload = YcsbWorkload(
+        cluster,
+        YcsbConfig(
+            num_tuples=num_tuples,
+            num_shards=num_shards,
+            num_clients=num_clients,
+            tuple_size=256,
+            think_time=0.004,
+        ),
+    )
+    workload.create()
+    return cluster, workload
+
+
+def migrate(cluster, approach, shard_ids, source, dest, runtime=15.0, **kwargs):
+    plan = MigrationPlan(approach, [(shard_ids, source, dest)], **kwargs)
+    proc = cluster.spawn(run_plan(cluster, plan), name="migration")
+    cluster.run(until=runtime)
+    assert proc.finished, "migration did not finish in time"
+    proc.result()
+    return plan
+
+
+def assert_no_crashes(cluster):
+    crashes = [
+        (p.name, exc)
+        for p, exc in cluster.sim.failed_processes
+        if p.name not in ("client",) and not p.name.startswith("client:")
+    ]
+    assert not crashes, crashes
+
+
+# ----------------------------------------------------------------------
+# Lock-and-abort
+# ----------------------------------------------------------------------
+def test_lock_and_abort_idle_migration_is_clean():
+    cluster, workload = build()
+    shard = cluster.shards_on_node("node-1", table="ycsb")[0]
+    before = cluster.dump_table("ycsb")
+    migrate(cluster, LockAndAbortMigration, [shard], "node-1", "node-2")
+    assert cluster.dump_table("ycsb") == before
+    assert cluster.shard_owner(shard) == "node-2"
+    assert_no_crashes(cluster)
+
+
+def test_lock_and_abort_kills_active_writer():
+    cluster, workload = build(num_clients=0)
+    shard = cluster.shards_on_node("node-1", table="ycsb")[0]
+    keys = sorted(cluster.nodes["node-1"].heap_for(shard).keys())
+    session = cluster.session("node-2")
+    outcome = {}
+
+    def long_writer():
+        def body(sess, txn):
+            yield from sess.update(txn, "ycsb", keys[0], {"f0": "w"})
+            yield 8.0  # hold the write while the migration transfers
+
+        process = cluster.spawn(run_transaction(session, body, label="victim"))
+        return process
+
+    proc = long_writer()
+    cluster.run(until=0.1)
+    plan = migrate(cluster, LockAndAbortMigration, [shard], "node-1", "node-3", runtime=20.0)
+    cluster.run()
+    committed, error = proc.result()
+    assert committed is False
+    assert error.kind == "migration"
+    assert plan.stats.txns_aborted_by_migration >= 1
+    # The victim's write must not survive.
+    assert cluster.dump_table("ycsb")[keys[0]] == {"f0": keys[0]}
+    assert_no_crashes(cluster)
+
+
+def test_lock_and_abort_under_load_keeps_data_consistent():
+    cluster, workload = build()
+    pool = workload.make_clients()
+    pool.start()
+    cluster.run(until=0.5)
+    shards = cluster.shards_on_node("node-1", table="ycsb")[:2]
+    migrate(cluster, LockAndAbortMigration, shards, "node-1", "node-2", runtime=20.0)
+    pool.stop()
+    cluster.run(until=22.0)
+    assert len(cluster.dump_table("ycsb")) == workload.config.num_tuples
+    assert_no_crashes(cluster)
+
+
+# ----------------------------------------------------------------------
+# Wait-and-remaster
+# ----------------------------------------------------------------------
+def test_wait_and_remaster_waits_for_ongoing_txns():
+    cluster, workload = build(num_clients=0)
+    shard = cluster.shards_on_node("node-1", table="ycsb")[0]
+    keys = sorted(cluster.nodes["node-1"].heap_for(shard).keys())
+    session = cluster.session("node-2")
+    outcome = {}
+
+    def slow_txn():
+        txn = yield from session.begin(label="slow")
+        yield from session.update(txn, "ycsb", keys[0], {"f0": "slow"})
+        yield 2.0
+        yield from session.commit(txn)
+        outcome["done_at"] = cluster.sim.now
+
+    cluster.spawn(slow_txn())
+    cluster.run(until=0.1)
+    plan = migrate(cluster, WaitAndRemasterMigration, [shard], "node-1", "node-3", runtime=20.0)
+    migration = plan.migrations[0]
+    transfer = migration.stats.phase_times["ownership_transfer"]
+    assert outcome["done_at"] <= transfer[1]
+    # The slow transaction committed (not aborted) and its write survived.
+    assert cluster.dump_table("ycsb")[keys[0]] == {"f0": "slow"}
+    assert cluster.metrics.abort_count(kind="migration") == 0
+    assert_no_crashes(cluster)
+
+
+def test_wait_and_remaster_blocks_new_txns_during_transfer():
+    cluster, workload = build(num_clients=0)
+    shard = cluster.shards_on_node("node-1", table="ycsb")[0]
+    keys = sorted(cluster.nodes["node-1"].heap_for(shard).keys())
+    session = cluster.session("node-2")
+    begin_times = []
+
+    def slow_txn():
+        txn = yield from session.begin(label="slow")
+        yield from session.update(txn, "ycsb", keys[0], {"f0": "slow"})
+        yield 3.0
+        yield from session.commit(txn)
+
+    def latecomer():
+        yield 1.0  # during the transfer wait
+        other = cluster.session("node-3")
+        txn = yield from other.begin(label="late")
+        begin_times.append(cluster.sim.now)
+        yield from other.read(txn, "ycsb", keys[1])
+        yield from other.commit(txn)
+
+    cluster.spawn(slow_txn())
+    cluster.spawn(latecomer())
+    cluster.run(until=0.1)
+    migrate(cluster, WaitAndRemasterMigration, [shard], "node-1", "node-3", runtime=20.0)
+    cluster.run()
+    # The latecomer could only begin after the slow txn finished (gate).
+    assert begin_times and begin_times[0] >= 3.0
+    assert_no_crashes(cluster)
+
+
+def test_wait_and_remaster_under_load_consistent():
+    cluster, workload = build()
+    pool = workload.make_clients()
+    pool.start()
+    cluster.run(until=0.5)
+    shards = cluster.shards_on_node("node-1", table="ycsb")[:2]
+    migrate(cluster, WaitAndRemasterMigration, shards, "node-1", "node-2", runtime=20.0)
+    pool.stop()
+    cluster.run(until=22.0)
+    assert len(cluster.dump_table("ycsb")) == workload.config.num_tuples
+    assert cluster.metrics.abort_count(kind="migration") == 0
+    assert_no_crashes(cluster)
+
+
+# ----------------------------------------------------------------------
+# Squall
+# ----------------------------------------------------------------------
+def test_squall_requires_shard_lock_mode():
+    cluster, workload = build(cc_mode="mvcc")
+    shard = cluster.shards_on_node("node-1", table="ycsb")[0]
+    with pytest.raises(ValueError, match="shard-lock"):
+        SquallMigration(cluster, [shard], "node-1", "node-2")
+
+
+def test_squall_moves_all_chunks_and_data():
+    cluster, workload = build(cc_mode="shard_lock")
+    shard = cluster.shards_on_node("node-1", table="ycsb")[0]
+    before = cluster.dump_table("ycsb")
+    plan = migrate(
+        cluster, SquallMigration, [shard], "node-1", "node-2",
+        chunk_bytes=8192,  # force multiple chunks at test scale
+    )
+    assert cluster.dump_table("ycsb") == before
+    assert plan.stats.chunks_pulled >= 2
+    assert cluster.shard_owner(shard) == "node-2"
+    assert_no_crashes(cluster)
+
+
+def test_squall_under_load_consistent():
+    cluster, workload = build(cc_mode="shard_lock")
+    pool = workload.make_clients()
+    pool.start()
+    cluster.run(until=0.5)
+    shards = cluster.shards_on_node("node-1", table="ycsb")[:2]
+    migrate(
+        cluster, SquallMigration, shards, "node-1", "node-2",
+        runtime=25.0, chunk_bytes=16384,
+    )
+    pool.stop()
+    cluster.run(until=27.0)
+    assert len(cluster.dump_table("ycsb")) == workload.config.num_tuples
+    assert_no_crashes(cluster)
+
+
+def test_squall_aborts_source_txn_touching_migrated_chunk():
+    cluster, workload = build(cc_mode="shard_lock", num_clients=0)
+    shard = cluster.shards_on_node("node-1", table="ycsb")[0]
+    keys = sorted(cluster.nodes["node-1"].heap_for(shard).keys())
+    other_shard = next(
+        s
+        for s in cluster.shards_on_node("node-2", table="ycsb")
+        if cluster.nodes["node-2"].heap_for(s).key_count > 0
+    )
+    other_key = sorted(cluster.nodes["node-2"].heap_for(other_shard).keys())[0]
+    session = cluster.session("node-1")
+    results = {}
+
+    def straddler():
+        def body(sess, txn):
+            # Start before the flip (on an unrelated shard, so pulls are not
+            # blocked by our shard lock), then touch the migrated shard.
+            yield from sess.read(txn, "ycsb", other_key)
+            yield 5.0
+            yield from sess.update(txn, "ycsb", keys[1], {"f0": "late"})
+
+        committed, error = yield from run_transaction(session, body, label="straddler")
+        results["committed"] = committed
+        results["error"] = error
+
+    proc = cluster.spawn(straddler())
+    cluster.run(until=0.1)
+    migrate(
+        cluster, SquallMigration, [shard], "node-1", "node-2",
+        runtime=30.0, chunk_bytes=8192,
+    )
+    cluster.run()
+    assert proc.finished
+    assert results["committed"] is False
+    assert results["error"].kind == "migration"
+    assert_no_crashes(cluster)
+
+
+def test_squall_rejects_value_partitioned_tables():
+    from repro.cluster.shard import ValuePartitioner
+
+    cluster = Cluster(ClusterConfig(num_nodes=2))
+    cluster.cc_mode = "shard_lock"
+    cluster.create_table(
+        "byval",
+        partitioner=ValuePartitioner(2, lambda key: key[0]),
+        tuple_size=64,
+    )
+    cluster.bulk_load("byval", [((0, i), i) for i in range(10)])
+    shard = cluster.shards_on_node("node-1", table="byval")[0]
+    dest = "node-2" if cluster.shard_owner(shard) == "node-1" else "node-1"
+    with pytest.raises(NotImplementedError):
+        SquallMigration(cluster, [shard], cluster.shard_owner(shard), dest)
+
+
+# ----------------------------------------------------------------------
+# Stop-and-copy
+# ----------------------------------------------------------------------
+def test_stop_and_copy_blocks_everything_but_is_consistent():
+    cluster, workload = build()
+    pool = workload.make_clients()
+    pool.start()
+    cluster.run(until=0.5)
+    shards = cluster.shards_on_node("node-1", table="ycsb")[:2]
+    plan = migrate(cluster, StopAndCopyMigration, shards, "node-1", "node-2", runtime=20.0)
+    pool.stop()
+    cluster.run(until=22.0)
+    assert len(cluster.dump_table("ycsb")) == workload.config.num_tuples
+    migration = plan.migrations[0]
+    assert migration.stats.phase_duration("stop_and_copy") > 0
+    assert cluster.routing_gate is None
+    assert_no_crashes(cluster)

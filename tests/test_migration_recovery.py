@@ -1,0 +1,147 @@
+"""Crash-recovery tests for in-flight Remus migrations (§3.7)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.migration import RemusMigration
+from repro.migration.recovery import crash_migration, recover_migration
+from repro.workloads.ycsb import YcsbConfig, YcsbWorkload
+
+
+def build():
+    from repro.config import CostModel
+
+    # Stretch the snapshot copy so there is a window to crash in.
+    cluster = Cluster(
+        ClusterConfig(num_nodes=3, costs=CostModel(snapshot_scan_per_tuple=2e-3))
+    )
+    workload = YcsbWorkload(
+        cluster,
+        YcsbConfig(num_tuples=600, num_shards=6, num_clients=4,
+                   tuple_size=256, think_time=0.004),
+    )
+    workload.create()
+    return cluster, workload
+
+
+def recover(cluster, migration, residual):
+    proc = cluster.spawn(recover_migration(cluster, migration, residual))
+    cluster.run(until=cluster.sim.now + 30.0)
+    assert proc.finished
+    return proc.result()
+
+
+def test_crash_before_tm_rolls_back():
+    """A crash before T_m leaves the source authoritative; the destination's
+    partial copy is dropped and the migration can be retried."""
+    cluster, workload = build()
+    pool = workload.make_clients()
+    pool.start()
+    cluster.run(until=0.5)
+    shard = cluster.shards_on_node("node-1", table="ycsb")[0]
+    migration = RemusMigration(cluster, [shard], "node-1", "node-2")
+    proc = cluster.spawn(migration.run(), name="migration")
+    # Crash mid snapshot copy / propagation, before T_m exists.
+    cluster.run(until=0.6)
+    assert migration.stats.tm_commit_ts is None
+    proc.interrupt("crash")
+    cluster.run(until=0.7)
+    residual = crash_migration(migration)
+    outcome = recover(cluster, migration, residual)
+    assert outcome == "rolled_back"
+    assert cluster.shard_owner(shard) == "node-1"
+    assert not cluster.nodes["node-2"].has_shard_data(shard)
+    pool.stop()
+    cluster.run(until=cluster.sim.now + 1.0)
+    assert len(cluster.dump_table("ycsb")) == workload.config.num_tuples
+
+    # The migration can be initiated again and completes.
+    retry = RemusMigration(cluster, [shard], "node-1", "node-2")
+    retry_proc = cluster.spawn(retry.run())
+    cluster.run(until=cluster.sim.now + 30.0)
+    assert retry_proc.finished
+    retry_proc.result()
+    assert cluster.shard_owner(shard) == "node-2"
+    assert len(cluster.dump_table("ycsb")) == workload.config.num_tuples
+
+
+def test_crash_after_tm_continues_migration():
+    """A crash after T_m committed: the destination owns the shard; recovery
+    completes the migration without losing any committed write."""
+    cluster, workload = build()
+    pool = workload.make_clients()
+    pool.start()
+    cluster.run(until=0.5)
+    shard = cluster.shards_on_node("node-1", table="ycsb")[0]
+
+    # A long transaction keeps dual execution open so we can crash inside it.
+    session = cluster.session("node-3")
+
+    def long_txn():
+        txn = yield from session.begin(label="long")
+        keys = sorted(cluster.nodes["node-1"].heap_for(shard).keys())
+        yield from session.read(txn, "ycsb", keys[0])
+        yield 5.0
+        if not txn.finished:
+            yield from session.abort(txn)
+
+    cluster.spawn(long_txn())
+    migration = RemusMigration(cluster, [shard], "node-1", "node-2")
+    proc = cluster.spawn(migration.run(), name="migration")
+    # Let it run until T_m commits (dual execution), then crash.
+    while migration.stats.tm_commit_ts is None and not proc.finished:
+        cluster.run(until=cluster.sim.now + 0.02)
+    assert not proc.finished, "migration finished before we could crash it"
+    proc.interrupt("crash")
+    cluster.run(until=cluster.sim.now + 0.05)
+    residual = crash_migration(migration)
+    pool.stop()
+    cluster.run(until=cluster.sim.now + 1.0)
+    outcome = recover(cluster, migration, residual)
+    assert outcome == "completed"
+    assert cluster.shard_owner(shard) == "node-2"
+    assert not cluster.nodes["node-1"].has_shard_data(shard)
+    assert len(cluster.dump_table("ycsb")) == workload.config.num_tuples
+
+
+def test_residual_prepared_shadow_committed_iff_source_committed():
+    """Prepared shadows take the same action as their source transaction."""
+    cluster, workload = build()
+    shard = cluster.shards_on_node("node-1", table="ycsb")[0]
+    keys = sorted(cluster.nodes["node-1"].heap_for(shard).keys())
+    session = cluster.session("node-1")
+    migration = RemusMigration(cluster, [shard], "node-1", "node-2")
+
+    # Drive a source transaction into its validation stage mid-migration by
+    # writing while in sync mode, then crash before the commit record ships.
+    outcome = {}
+
+    def writer():
+        txn = yield from session.begin(label="writer")
+        yield from session.update(txn, "ycsb", keys[0], {"f0": "recovered"})
+        yield 0.8  # stay open across the sync barrier
+        try:
+            yield from session.commit(txn)
+            outcome["committed"] = True
+        except Exception:
+            if not txn.finished:
+                yield from session.abort(txn)
+            outcome["committed"] = False
+
+    proc = cluster.spawn(migration.run(), name="migration")
+    cluster.spawn(writer())
+    # Crash right after T_m commits; the writer may hold a prepared shadow.
+    while migration.stats.tm_commit_ts is None and not proc.finished:
+        cluster.run(until=cluster.sim.now + 0.02)
+    cluster.run(until=cluster.sim.now + 2.0)  # let the writer commit
+    if not proc.finished:
+        proc.interrupt("crash")
+    residual = crash_migration(migration)
+    recover(cluster, migration, residual)
+    # Whatever happened, the committed value is consistent on the new owner.
+    dump = cluster.dump_table("ycsb")
+    if outcome.get("committed"):
+        assert dump[keys[0]] == {"f0": "recovered"}
+    else:
+        assert dump[keys[0]] == {"f0": keys[0]}

@@ -1,0 +1,158 @@
+"""Focused tests for the propagation pipeline (§3.3) and migration base."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.migration.base import MigrationStats, consolidation_batches
+from repro.migration.propagation import Propagation
+from repro.storage.wal import WalRecord, WalRecordKind
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(ClusterConfig(num_nodes=2))
+    c.create_table("t", num_shards=2, tuple_size=100)
+    c.bulk_load("t", [(k, {"v": k}) for k in range(40)])
+    return c
+
+
+def make_propagation(cluster, snapshot_ts=0):
+    shard_ids = cluster.tables["t"].shard_ids()
+    stats = MigrationStats()
+    prop = Propagation(
+        cluster, shard_ids, "node-1", "node-2", snapshot_ts, from_lsn=0, stats=stats
+    )
+    return prop, stats
+
+
+def wal_change(cluster, xid, shard_id, key, value, start_ts=1):
+    cluster.nodes["node-1"].wal.append(
+        WalRecord(
+            WalRecordKind.INSERT,
+            xid=xid,
+            shard_id=shard_id,
+            key=key,
+            value=value,
+            size=100,
+            start_ts=start_ts,
+        )
+    )
+
+
+def test_cache_dropped_on_abort(cluster):
+    prop, stats = make_propagation(cluster)
+    shard = cluster.tables["t"].shard_ids()[0]
+    prop.start()
+    wal_change(cluster, xid=900, shard_id=shard, key=1000, value={"v": 1})
+    cluster.run(until=0.1)
+    assert prop.pending_records == 1
+    cluster.nodes["node-1"].wal.append(WalRecord(WalRecordKind.ABORT, xid=900))
+    cluster.run(until=0.2)
+    assert prop.pending_records == 0
+    assert stats.records_applied == 0
+    prop.stop()
+
+
+def test_cache_dropped_when_commit_predates_snapshot(cluster):
+    prop, stats = make_propagation(cluster, snapshot_ts=10**9)
+    shard = cluster.tables["t"].shard_ids()[0]
+    prop.start()
+    wal_change(cluster, xid=901, shard_id=shard, key=1001, value={"v": 1})
+    cluster.nodes["node-1"].wal.append(
+        WalRecord(WalRecordKind.COMMIT, xid=901, commit_ts=5)  # <= snapshot
+    )
+    cluster.run(until=0.2)
+    assert prop.pending_records == 0
+    assert stats.shadow_txns == 0
+    prop.stop()
+
+
+def test_records_for_other_shards_ignored(cluster):
+    prop, stats = make_propagation(cluster)
+    prop.start()
+    wal_change(cluster, xid=902, shard_id=("other", 0), key=1, value={})
+    cluster.run(until=0.1)
+    assert prop.pending_records == 0
+    prop.stop()
+
+
+def test_async_apply_creates_committed_shadow(cluster):
+    prop, stats = make_propagation(cluster)
+    shard = cluster.tables["t"].shard_ids()[0]
+    prop.start()
+    # Simulate a committed source txn's records arriving via the WAL.
+    node1 = cluster.nodes["node-1"]
+    node1.clog.begin(903)
+    wal_change(cluster, xid=903, shard_id=shard, key=2000, value={"v": "new"}, start_ts=1)
+    node1.clog.set_committed(903, 100)
+    node1.wal.append(WalRecord(WalRecordKind.COMMIT, xid=903, commit_ts=100))
+    cluster.run(until=0.5)
+    assert stats.shadow_txns == 1
+    assert stats.records_applied == 1
+    dest_heap = cluster.nodes["node-2"].heap_for(shard)
+    assert 2000 in dest_heap
+    # The shadow committed with the source's commit timestamp.
+    version = dest_heap.latest_committed_or_locked(2000)
+    assert cluster.nodes["node-2"].clog.commit_ts(version.xmin) == 100
+    prop.stop()
+
+
+def test_applied_watermark_advances_with_reader(cluster):
+    prop, _stats = make_propagation(cluster)
+    prop.start()
+    shard = cluster.tables["t"].shard_ids()[0]
+    for i in range(5):
+        wal_change(cluster, xid=910 + i, shard_id=shard, key=3000 + i, value={})
+    cluster.run(until=0.1)
+    # All records consumed (cached); no replay in flight.
+    assert prop.applied_watermark() == cluster.nodes["node-1"].wal.tail_lsn
+    event = prop.wait_applied_through(cluster.nodes["node-1"].wal.tail_lsn)
+    assert event.triggered
+    prop.stop()
+
+
+def test_spill_threshold_adds_reload_latency(cluster):
+    costs = cluster.config.costs
+    costs.spill_threshold = 3  # tiny, to trigger spilling
+    prop, stats = make_propagation(cluster)
+    shard = cluster.tables["t"].shard_ids()[0]
+    node1 = cluster.nodes["node-1"]
+    node1.clog.begin(920)
+    for i in range(10):
+        wal_change(cluster, xid=920, shard_id=shard, key=4000 + i, value={"v": i})
+    node1.clog.set_committed(920, 50)
+    prop.start()
+    node1.wal.append(WalRecord(WalRecordKind.COMMIT, xid=920, commit_ts=50))
+    cluster.run(until=5.0)
+    assert stats.records_applied == 10
+    prop.stop()
+
+
+def test_consolidation_batches_cover_all_shards(cluster):
+    batches = consolidation_batches(cluster, "node-1", table="t", group_size=1)
+    moved = [s for group, _src, _dst in batches for s in group]
+    assert set(moved) == set(cluster.shards_on_node("node-1", table="t"))
+    assert all(src == "node-1" and dst != "node-1" for _g, src, dst in batches)
+
+
+def test_migration_stats_merge():
+    a = MigrationStats()
+    b = MigrationStats()
+    a.tuples_copied = 5
+    a.sync_waits = 2
+    a.sync_wait_total = 0.4
+    b.tuples_copied = 7
+    b.ww_conflicts = 1
+    a.merge(b)
+    assert a.tuples_copied == 12
+    assert a.ww_conflicts == 1
+    assert a.avg_sync_wait == pytest.approx(0.2)
+
+
+def test_migration_rejects_wrong_source(cluster):
+    from repro.migration import RemusMigration
+
+    shard = cluster.shards_on_node("node-2", table="t")[0]
+    with pytest.raises(ValueError, match="not on source"):
+        RemusMigration(cluster, [shard], "node-1", "node-2")

@@ -1,0 +1,184 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.hashing import (
+    HASH_SPACE,
+    HashRange,
+    consistent_hash,
+    shard_index_for_hash,
+    split_hash_space,
+)
+from repro.metrics.series import bin_series, downtime_windows, moving_average
+from repro.sim import Simulator
+from repro.storage import Clog, HeapTable, Snapshot
+from repro.txn.timestamps import HybridLogicalClock, decode_hlc, encode_hlc
+from repro.workloads.zipf import ZipfGenerator
+
+
+# ----------------------------------------------------------------------
+# Hybrid logical clocks
+# ----------------------------------------------------------------------
+@given(st.lists(st.integers(min_value=0, max_value=10**15), min_size=1, max_size=50))
+def test_hlc_now_is_strictly_monotonic(observed):
+    sim = Simulator()
+    clock = HybridLogicalClock(sim)
+    last = 0
+    for ts in observed:
+        clock.update(ts)
+        current = clock.now()
+        assert current > last
+        assert current > ts  # causality: after observing ts, we are past it
+        last = current
+
+
+@given(
+    st.integers(min_value=0, max_value=2**40),
+    st.integers(min_value=0, max_value=2**16 - 1),
+)
+def test_hlc_encode_decode_roundtrip(physical, logical):
+    ts = encode_hlc(physical, logical)
+    assert decode_hlc(ts) == (physical, logical)
+
+
+@given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+def test_hlc_tracks_physical_time(now):
+    sim = Simulator()
+    sim.now = now
+    clock = HybridLogicalClock(sim)
+    physical, _logical = decode_hlc(clock.now())
+    assert physical == int(now * 1e6)
+
+
+# ----------------------------------------------------------------------
+# Consistent hashing
+# ----------------------------------------------------------------------
+@given(st.integers(min_value=1, max_value=64), st.integers())
+def test_every_key_maps_to_exactly_one_shard_range(num_shards, key):
+    ranges = split_hash_space(num_shards)
+    h = consistent_hash(key)
+    containing = [i for i, r in enumerate(ranges) if h in r]
+    assert len(containing) == 1
+    assert containing[0] == shard_index_for_hash(h, num_shards)
+
+
+@given(st.integers(min_value=1, max_value=64))
+def test_shard_ranges_tile_the_ring(num_shards):
+    ranges = split_hash_space(num_shards)
+    assert ranges[0].lo == 0
+    assert ranges[-1].hi == HASH_SPACE
+    for left, right in zip(ranges, ranges[1:]):
+        assert left.hi == right.lo
+
+
+@given(st.integers(min_value=1, max_value=32), st.integers(min_value=1, max_value=32))
+def test_chunk_split_tiles_the_shard_range(num_shards, chunks):
+    shard_range = split_hash_space(num_shards)[0]
+    pieces = shard_range.split(chunks)
+    assert pieces[0].lo == shard_range.lo
+    assert pieces[-1].hi == shard_range.hi
+    assert sum(p.width for p in pieces) == shard_range.width
+
+
+@given(st.data())
+def test_consistent_hash_is_deterministic(data):
+    key = data.draw(st.one_of(st.integers(), st.text(max_size=20), st.tuples(st.integers())))
+    assert consistent_hash(key) == consistent_hash(key)
+    assert 0 <= consistent_hash(key) < HASH_SPACE
+
+
+# ----------------------------------------------------------------------
+# MVCC visibility against a reference model
+# ----------------------------------------------------------------------
+@given(
+    st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=20),
+    st.integers(min_value=0, max_value=120),
+)
+@settings(max_examples=60)
+def test_visible_version_matches_reference_model(gaps, read_ts):
+    """Committed versions at strictly increasing timestamps: a read at ts
+    must return the newest version with commit_ts <= ts."""
+    sim = Simulator()
+    clog = Clog(sim)
+    heap = HeapTable(sim, clog)
+    commit_times = []
+    cursor = 0
+    for i, gap in enumerate(gaps):
+        cursor += gap
+        xid = i + 1
+        clog.begin(xid)
+        previous = heap.chain("k")[0] if "k" in heap else None
+        if previous is not None:
+            heap.mark_deleted(previous, xid)
+        heap.put_version("k", "v{}".format(cursor), xid)
+        clog.set_committed(xid, cursor)
+        commit_times.append(cursor)
+
+    def read():
+        value, _n = yield from heap.read("k", Snapshot(read_ts))
+        return value
+
+    value = sim.run_until_complete(sim.spawn(read()))
+    visible = [t for t in commit_times if t <= read_ts]
+    expected = "v{}".format(max(visible)) if visible else None
+    assert value == expected
+
+
+# ----------------------------------------------------------------------
+# Metrics helpers
+# ----------------------------------------------------------------------
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=99.99, allow_nan=False),
+            st.integers(min_value=1, max_value=10),
+        ),
+        max_size=50,
+    )
+)
+def test_bin_series_preserves_totals(points):
+    series = bin_series(points, bin_width=1.0, start=0.0, end=100.0)
+    assert len(series) == 100
+    total_in = sum(w for _t, w in points)
+    total_out = sum(rate * 1.0 for _t, rate in series)
+    assert abs(total_in - total_out) < 1e-6
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False), max_size=30)
+)
+def test_downtime_never_exceeds_window(times):
+    longest, total = downtime_windows(sorted(times), 0.0, 100.0, min_window=0.5)
+    assert 0.0 <= longest <= 100.0
+    assert 0.0 <= total <= 100.0 + 1e-9
+    assert longest <= total or total == 0.0
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 100), st.floats(0, 1000, allow_nan=False)),
+        min_size=1,
+        max_size=30,
+    ),
+    st.integers(min_value=1, max_value=10),
+)
+def test_moving_average_stays_within_bounds(series, window):
+    smoothed = moving_average(series, window)
+    lo = min(v for _t, v in series)
+    hi = max(v for _t, v in series)
+    assert all(lo - 1e-9 <= v <= hi + 1e-9 for _t, v in smoothed)
+    assert len(smoothed) == len(series)
+
+
+# ----------------------------------------------------------------------
+# Zipf
+# ----------------------------------------------------------------------
+@given(st.integers(min_value=1, max_value=2000), st.integers(min_value=0, max_value=2**31))
+def test_zipf_samples_in_domain(n, seed):
+    from repro.sim.rng import RngStream
+
+    gen = ZipfGenerator(n)
+    rng = RngStream(seed)
+    for _ in range(10):
+        assert 0 <= gen.sample(rng) < n

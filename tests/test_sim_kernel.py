@@ -1,0 +1,264 @@
+"""Unit tests for the DES kernel: scheduling, processes, events."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, Interrupt, SimulationError, Simulator, Timeout
+
+
+def test_schedule_runs_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.0, seen.append, "b")
+    sim.schedule(1.0, seen.append, "a")
+    sim.schedule(3.0, seen.append, "c")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_time_events_run_fifo():
+    sim = Simulator()
+    seen = []
+    for i in range(10):
+        sim.schedule(1.0, seen.append, i)
+    sim.run()
+    assert seen == list(range(10))
+
+
+def test_cancelled_entry_is_skipped():
+    sim = Simulator()
+    seen = []
+    handle = sim.schedule(1.0, seen.append, "x")
+    handle.cancelled = True
+    sim.run()
+    assert seen == []
+
+
+def test_run_until_stops_at_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, "a")
+    sim.schedule(5.0, seen.append, "b")
+    sim.run(until=2.0)
+    assert seen == ["a"]
+    assert sim.now == 2.0
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_process_timeout_and_return_value():
+    sim = Simulator()
+
+    def worker():
+        yield 1.5
+        yield Timeout(0.5)
+        return 42
+
+    proc = sim.spawn(worker())
+    value = sim.run_until_complete(proc)
+    assert value == 42
+    assert sim.now == 2.0
+
+
+def test_process_join_propagates_value():
+    sim = Simulator()
+
+    def child():
+        yield 1.0
+        return "done"
+
+    def parent():
+        value = yield sim.spawn(child())
+        return value + "!"
+
+    proc = sim.spawn(parent())
+    assert sim.run_until_complete(proc) == "done!"
+
+
+def test_process_exception_propagates_to_joiner():
+    sim = Simulator()
+
+    def child():
+        yield 1.0
+        raise ValueError("boom")
+
+    def parent():
+        yield sim.spawn(child())
+
+    proc = sim.spawn(parent())
+    with pytest.raises(ValueError, match="boom"):
+        sim.run_until_complete(proc)
+
+
+def test_event_wakes_waiter_with_value():
+    sim = Simulator()
+    ready = sim.event("ready")
+
+    def waiter():
+        value = yield ready
+        return value
+
+    def trigger():
+        yield 3.0
+        ready.succeed("payload")
+
+    proc = sim.spawn(waiter())
+    sim.spawn(trigger())
+    assert sim.run_until_complete(proc) == "payload"
+    assert sim.now == 3.0
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    ready = sim.event()
+
+    def waiter():
+        yield ready
+
+    proc = sim.spawn(waiter())
+    sim.schedule(1.0, lambda: ready.fail(RuntimeError("bad")))
+    with pytest.raises(RuntimeError, match="bad"):
+        sim.run_until_complete(proc)
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_callback_after_trigger_fires():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("v")
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    sim.run()
+    assert seen == ["v"]
+
+
+def test_allof_waits_for_every_member():
+    sim = Simulator()
+
+    def child(delay, value):
+        yield delay
+        return value
+
+    def parent():
+        values = yield AllOf([sim.spawn(child(2.0, "a")), sim.spawn(child(1.0, "b"))])
+        return values
+
+    proc = sim.spawn(parent())
+    assert sim.run_until_complete(proc) == ["a", "b"]
+    assert sim.now == 2.0
+
+
+def test_allof_empty_completes_immediately():
+    sim = Simulator()
+
+    def parent():
+        values = yield AllOf([])
+        return values
+
+    assert sim.run_until_complete(sim.spawn(parent())) == []
+
+
+def test_anyof_returns_first_completion():
+    sim = Simulator()
+
+    def child(delay, value):
+        yield delay
+        return value
+
+    def parent():
+        index, value = yield AnyOf([sim.spawn(child(5.0, "slow")), sim.spawn(child(1.0, "fast"))])
+        return index, value
+
+    proc = sim.spawn(parent())
+    assert sim.run_until_complete(proc) == (1, "fast")
+    assert sim.now == 1.0
+
+
+def test_interrupt_raises_inside_process():
+    sim = Simulator()
+    log = []
+
+    def victim():
+        try:
+            yield 100.0
+        except Interrupt as exc:
+            log.append(exc.cause)
+            return "interrupted"
+
+    proc = sim.spawn(victim())
+    sim.schedule(1.0, proc.interrupt, "migration abort")
+    assert sim.run_until_complete(proc) == "interrupted"
+    assert log == ["migration abort"]
+    assert sim.now == pytest.approx(1.0)
+
+
+def test_interrupt_finished_process_is_noop():
+    sim = Simulator()
+
+    def quick():
+        yield 0.1
+        return "ok"
+
+    proc = sim.spawn(quick())
+    sim.run()
+    proc.interrupt("late")
+    sim.run()
+    assert proc.result() == "ok"
+
+
+def test_interrupt_detaches_from_event():
+    sim = Simulator()
+    never = sim.event()
+
+    def victim():
+        try:
+            yield never
+        except Interrupt:
+            return "freed"
+
+    proc = sim.spawn(victim())
+    sim.schedule(1.0, proc.interrupt)
+    assert sim.run_until_complete(proc) == "freed"
+
+
+def test_yielding_garbage_fails_process():
+    sim = Simulator()
+
+    def bad():
+        yield object()
+
+    proc = sim.spawn(bad())
+    with pytest.raises(SimulationError):
+        sim.run_until_complete(proc)
+
+
+def test_deadlock_detected_by_run_until_complete():
+    sim = Simulator()
+    never = sim.event()
+
+    def stuck():
+        yield never
+
+    proc = sim.spawn(stuck())
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_until_complete(proc)
+
+
+def test_rng_streams_are_independent_and_reproducible():
+    sim_a = Simulator(seed=7)
+    sim_b = Simulator(seed=7)
+    assert [sim_a.rng("x").random() for _ in range(3)] == [
+        sim_b.rng("x").random() for _ in range(3)
+    ]
+    assert sim_a.rng("x").random() != sim_a.rng("y").random()

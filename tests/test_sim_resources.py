@@ -1,0 +1,150 @@
+"""Unit tests for CPU and generic resources, and the network model."""
+
+import pytest
+
+from repro.sim import CpuResource, Network, NetworkConfig, Resource, SimulationError, Simulator
+
+
+def test_resource_grants_up_to_capacity_then_queues():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    order = []
+
+    def worker(i):
+        yield res.acquire()
+        order.append(("start", i, sim.now))
+        yield 1.0
+        res.release()
+        order.append(("end", i, sim.now))
+
+    for i in range(3):
+        sim.spawn(worker(i))
+    sim.run()
+    starts = {i: t for kind, i, t in order if kind == "start"}
+    assert starts[0] == 0.0 and starts[1] == 0.0
+    assert starts[2] == 1.0
+
+
+def test_resource_release_without_acquire_errors():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_cpu_serializes_beyond_capacity():
+    sim = Simulator()
+    cpu = CpuResource(sim, capacity=1)
+    done_times = []
+
+    def work():
+        yield cpu.use(2.0)
+        done_times.append(sim.now)
+
+    sim.spawn(work())
+    sim.spawn(work())
+    sim.run()
+    assert done_times == [2.0, 4.0]
+
+
+def test_cpu_parallel_within_capacity():
+    sim = Simulator()
+    cpu = CpuResource(sim, capacity=4)
+    done_times = []
+
+    def work():
+        yield cpu.use(2.0)
+        done_times.append(sim.now)
+
+    for _ in range(4):
+        sim.spawn(work())
+    sim.run()
+    assert done_times == [2.0] * 4
+
+
+def test_cpu_usage_series_accounts_busy_time():
+    sim = Simulator()
+    cpu = CpuResource(sim, capacity=2, bin_width=1.0)
+
+    def work():
+        yield cpu.use(1.5)
+
+    sim.spawn(work())
+    sim.run()
+    sim.run(until=3.0)
+    series = dict(cpu.usage_series(0.0, 3.0))
+    # one of two slots busy for the whole first bin, half of the second.
+    assert series[0.0] == pytest.approx(0.5)
+    assert series[1.0] == pytest.approx(0.25)
+    assert series[2.0] == pytest.approx(0.0)
+    assert cpu.total_busy_time == pytest.approx(1.5)
+
+
+def test_cpu_usage_between_average():
+    sim = Simulator()
+    cpu = CpuResource(sim, capacity=1, bin_width=1.0)
+    sim.spawn(iter([cpu.use(1.0)]))
+
+    def work():
+        yield cpu.use(1.0)
+
+    sim.spawn(work())
+    sim.run()
+    sim.run(until=4.0)
+    assert cpu.usage_between(0.0, 4.0) == pytest.approx(0.5)
+
+
+def test_network_local_send_is_free():
+    sim = Simulator()
+    net = Network(sim)
+    assert net.delay_for("n1", "n1", size=10**9) == 0.0
+
+
+def test_network_delay_scales_with_size():
+    sim = Simulator()
+    net = Network(sim, NetworkConfig(base_latency=0.001, bandwidth=1000.0))
+    assert net.delay_for("a", "b", size=0) == pytest.approx(0.001)
+    assert net.delay_for("a", "b", size=1000) == pytest.approx(1.001)
+
+
+def test_network_send_delivers_after_delay():
+    sim = Simulator()
+    net = Network(sim, NetworkConfig(base_latency=0.5, bandwidth=1e9))
+    arrival = []
+
+    def sender():
+        yield net.send("a", "b", size=0)
+        arrival.append(sim.now)
+
+    sim.spawn(sender())
+    sim.run()
+    assert arrival == [pytest.approx(0.5)]
+
+
+def test_network_roundtrip_is_two_legs():
+    sim = Simulator()
+    net = Network(sim, NetworkConfig(base_latency=0.25, bandwidth=1e9))
+    arrival = []
+
+    def caller():
+        yield net.roundtrip("a", "b")
+        arrival.append(sim.now)
+
+    sim.spawn(caller())
+    sim.run()
+    assert arrival == [pytest.approx(0.5)]
+    assert net.messages_sent == 2
+
+
+def test_network_broadcast_waits_for_all():
+    sim = Simulator()
+    net = Network(sim, NetworkConfig(base_latency=0.1, bandwidth=1e9))
+    arrival = []
+
+    def caller():
+        yield net.broadcast("a", ["b", "c", "a"])
+        arrival.append(sim.now)
+
+    sim.spawn(caller())
+    sim.run()
+    assert arrival == [pytest.approx(0.1)]

@@ -1,0 +1,120 @@
+"""Unit tests for the streaming snapshot copy (§3.2)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.shardmap import RESERVED_MIN_TS
+from repro.config import ClusterConfig
+from repro.migration.base import MigrationStats
+from repro.migration.snapshot_copy import copy_group_snapshot, copy_shard_snapshot
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster(ClusterConfig(num_nodes=2))
+    c.create_table("t", num_shards=2, tuple_size=200)
+    c.bulk_load("t", [(k, {"v": k}) for k in range(100)])
+    return c
+
+
+def snapshot_ts(cluster):
+    return cluster.oracle.local_now("node-1")
+
+
+def shard_on(cluster, node):
+    """A shard on ``node`` that actually holds data."""
+    return next(
+        s
+        for s in cluster.shards_on_node(node, table="t")
+        if cluster.nodes[node].heap_for(s).key_count > 0
+    )
+
+
+def run(cluster, gen):
+    return cluster.sim.run_until_complete(cluster.spawn(gen))
+
+
+def test_copy_moves_visible_tuples(cluster):
+    shard = shard_on(cluster, "node-1")
+    stats = MigrationStats()
+    ts = snapshot_ts(cluster)
+    copied = run(
+        cluster,
+        copy_shard_snapshot(cluster, shard, "node-1", "node-2", ts, stats),
+    )
+    source_keys = set(cluster.nodes["node-1"].heap_for(shard).keys())
+    dest_keys = set(cluster.nodes["node-2"].heap_for(shard).keys())
+    assert copied == len(source_keys)
+    assert dest_keys == source_keys
+    assert stats.tuples_copied == copied
+    assert stats.bytes_copied == copied * 200
+
+
+def test_copy_installs_at_reserved_min_timestamp(cluster):
+    shard = shard_on(cluster, "node-1")
+    ts = snapshot_ts(cluster)
+    run(
+        cluster,
+        copy_shard_snapshot(cluster, shard, "node-1", "node-2", ts, MigrationStats()),
+    )
+    dest = cluster.nodes["node-2"]
+    heap = dest.heap_for(shard)
+    key = next(iter(heap.keys()))
+    version = heap.chain(key)[0]
+    assert dest.clog.commit_ts(version.xmin) == RESERVED_MIN_TS
+
+
+def test_copy_excludes_post_snapshot_commits(cluster):
+    shard = shard_on(cluster, "node-1")
+    ts = snapshot_ts(cluster)
+    # A commit after the snapshot timestamp must not appear in the copy.
+    session = cluster.session("node-1")
+    key = sorted(cluster.nodes["node-1"].heap_for(shard).keys())[0]
+
+    def writer():
+        txn = yield from session.begin()
+        yield from session.update(txn, "t", key, {"v": "after-snapshot"})
+        yield from session.commit(txn)
+
+    run(cluster, writer())
+    run(
+        cluster,
+        copy_shard_snapshot(cluster, shard, "node-1", "node-2", ts, MigrationStats()),
+    )
+    dest_heap = cluster.nodes["node-2"].heap_for(shard)
+    assert dest_heap.chain(key)[0].value == {"v": key}  # the old value
+
+
+def test_group_copy_copies_all_shards_in_parallel(cluster):
+    shards = cluster.tables["t"].shard_ids()
+    owners = {s: cluster.shard_owner(s) for s in shards}
+    node1_shards = [s for s, o in owners.items() if o == "node-1"]
+    stats = MigrationStats()
+    ts = snapshot_ts(cluster)
+    total = run(
+        cluster,
+        copy_group_snapshot(cluster, node1_shards, "node-1", "node-2", ts, stats),
+    )
+    expected = sum(
+        cluster.nodes["node-1"].heap_for(s).key_count for s in node1_shards
+    )
+    assert total == expected
+
+
+def test_copy_takes_time_proportional_to_tuples(cluster):
+    from repro.config import CostModel
+
+    slow = Cluster(
+        ClusterConfig(num_nodes=2, costs=CostModel(snapshot_scan_per_tuple=1e-3))
+    )
+    slow.create_table("t", num_shards=1, tuple_size=100)
+    slow.bulk_load("t", [(k, k) for k in range(500)])
+    shard = slow.tables["t"].shard_ids()[0]
+    source = slow.shard_owner(shard)
+    dest = "node-2" if source == "node-1" else "node-1"
+    ts = slow.oracle.local_now(source)
+    start = slow.sim.now
+    slow.sim.run_until_complete(
+        slow.spawn(copy_shard_snapshot(slow, shard, source, dest, ts, MigrationStats()))
+    )
+    assert slow.sim.now - start >= 500 * 1e-3 * 0.9

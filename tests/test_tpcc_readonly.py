@@ -1,0 +1,99 @@
+"""Tests for the TPC-C read-only transactions and distributed execution."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.workloads.tpcc import TpccConfig, TpccWorkload
+
+
+@pytest.fixture
+def setup():
+    cluster = Cluster(ClusterConfig(num_nodes=3))
+    workload = TpccWorkload(
+        cluster,
+        TpccConfig(num_warehouses=3, districts_per_warehouse=2,
+                   customers_per_district=6, items=10),
+    )
+    workload.create()
+    return cluster, workload
+
+
+def run_body(cluster, workload, body, node="node-1", label="t"):
+    session = cluster.session(node)
+
+    def runner():
+        txn = yield from session.begin(label=label)
+        yield from body(session, txn)
+        yield from session.commit(txn)
+        return txn
+
+    return cluster.sim.run_until_complete(cluster.spawn(runner()))
+
+
+def test_order_status_reads_latest_order(setup):
+    cluster, workload = setup
+    rng = cluster.sim.rng("os")
+    txn = run_body(cluster, workload, workload.order_status_body(rng, home=1))
+    assert txn.op_count >= 3  # customer + district + order (+ lines)
+    assert not txn.wrote_anything
+
+
+def test_stock_level_is_read_only(setup):
+    cluster, workload = setup
+    rng = cluster.sim.rng("sl")
+    before = cluster.dump_table("stock")
+    txn = run_body(cluster, workload, workload.stock_level_body(rng, home=2))
+    assert not txn.wrote_anything
+    assert cluster.dump_table("stock") == before
+
+
+def test_remote_payment_is_distributed(setup):
+    cluster, workload = setup
+    config = workload.config
+
+    class ForceRemote:
+        def random(self):
+            return 0.0  # always below remote_txn_prob
+
+        def randint(self, a, b):
+            return b  # picks the highest warehouse: never the home (1)
+
+        def uniform(self, a, b):
+            return a
+
+        def sample(self, population, k):
+            return list(population)[:k]
+
+    txn = run_body(
+        cluster, workload, workload.payment_body(ForceRemote(), home=1), label="pay"
+    )
+    # Home warehouse 1 and remote warehouse share no node at this scale only
+    # if placement differs; assert the customer update went to a different
+    # warehouse than the payment's home.
+    history = cluster.dump_table("history")
+    assert len(history) == 1
+    # The remote customer's balance changed in a warehouse != 1.
+    customers = cluster.dump_table("customer")
+    touched = [k for k, v in customers.items() if v["payments"] > 0]
+    assert touched and all(k[0] != 1 for k in touched)
+
+
+def test_new_order_with_remote_supply_creates_distributed_txn(setup):
+    cluster, workload = setup
+
+    class ForceRemote:
+        def random(self):
+            return 0.0
+
+        def randint(self, a, b):
+            return b  # highest warehouse / largest ol_cnt: never home (1)
+
+        def sample(self, population, k):
+            return list(population)[:k]
+
+    txn = run_body(
+        cluster, workload, workload.new_order_body(ForceRemote(), home=1), label="no"
+    )
+    # Stock updates went to the remote warehouse: more than one participant.
+    assert txn.is_distributed

@@ -1,0 +1,265 @@
+"""Tests for the workload generators: YCSB, TPC-C, hybrid A/B."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.workloads.hybrid import AnalyticalClient, BatchIngestClient
+from repro.workloads.tpcc import TpccConfig, TpccWorkload
+from repro.workloads.ycsb import YcsbConfig, YcsbWorkload
+from repro.workloads.zipf import ZipfGenerator
+
+
+def assert_no_crashes(cluster):
+    crashes = [(p.name, repr(e)) for p, e in cluster.sim.failed_processes]
+    assert not crashes, crashes
+
+
+# ----------------------------------------------------------------------
+# Zipf
+# ----------------------------------------------------------------------
+def test_zipf_is_skewed_toward_low_ranks():
+    from repro.sim.rng import RngStream
+
+    gen = ZipfGenerator(1000, theta=0.99)
+    rng = RngStream(1)
+    samples = [gen.sample(rng) for _ in range(5000)]
+    head = sum(1 for s in samples if s < 10)
+    assert head > 1000  # far more than the uniform expectation (50)
+    assert min(samples) >= 0 and max(samples) < 1000
+
+
+def test_zipf_rejects_empty_domain():
+    with pytest.raises(ValueError):
+        ZipfGenerator(0)
+
+
+# ----------------------------------------------------------------------
+# YCSB
+# ----------------------------------------------------------------------
+def test_ycsb_runs_and_commits():
+    cluster = Cluster(ClusterConfig(num_nodes=3))
+    workload = YcsbWorkload(
+        cluster,
+        YcsbConfig(num_tuples=300, num_shards=6, num_clients=4, think_time=0.002),
+    )
+    workload.create()
+    pool = workload.make_clients()
+    pool.start()
+    cluster.run(until=2.0)
+    pool.stop()
+    cluster.run(until=2.5)
+    assert pool.committed > 100
+    assert cluster.metrics.commit_count(label="ycsb") == pool.committed
+    assert_no_crashes(cluster)
+
+
+def test_ycsb_hotspot_targets_hot_node():
+    cluster = Cluster(ClusterConfig(num_nodes=3))
+    workload = YcsbWorkload(
+        cluster,
+        YcsbConfig(
+            num_tuples=600,
+            num_shards=6,
+            distribution="hotspot",
+            hotspot_fraction=1.0,
+        ),
+    )
+    workload.create()
+    workload.set_hot_node("node-1")
+    rng = cluster.sim.rng("probe")
+    schema = cluster.tables["ycsb"]
+    for _ in range(200):
+        key = workload.pick_key(rng)
+        shard = schema.shard_for_key(key)
+        assert cluster.shard_owner(shard) == "node-1"
+
+
+def test_ycsb_zipfian_distribution_used():
+    cluster = Cluster(ClusterConfig(num_nodes=2))
+    workload = YcsbWorkload(
+        cluster, YcsbConfig(num_tuples=500, num_shards=4, distribution="zipfian")
+    )
+    workload.create()
+    rng = cluster.sim.rng("probe")
+    samples = [workload.pick_key(rng) for _ in range(2000)]
+    assert sum(1 for s in samples if s < 5) > 100
+
+
+# ----------------------------------------------------------------------
+# TPC-C
+# ----------------------------------------------------------------------
+@pytest.fixture
+def tpcc_cluster():
+    cluster = Cluster(ClusterConfig(num_nodes=3))
+    workload = TpccWorkload(
+        cluster,
+        TpccConfig(num_warehouses=3, districts_per_warehouse=2,
+                   customers_per_district=5, items=10),
+    )
+    workload.create()
+    return cluster, workload
+
+
+def test_tpcc_creates_collocated_tables(tpcc_cluster):
+    cluster, workload = tpcc_cluster
+    from repro.workloads.tpcc import TABLES
+
+    assert set(TABLES) <= set(cluster.tables)
+    # All shards of warehouse 1 live on the same node.
+    owners = {
+        cluster.shard_owner((table, 0)) for table in TABLES
+    }
+    assert len(owners) == 1
+
+
+def test_tpcc_runs_all_transaction_types(tpcc_cluster):
+    cluster, workload = tpcc_cluster
+    pool = workload.make_clients()
+    pool.start()
+    cluster.run(until=3.0)
+    pool.stop()
+    cluster.run(until=3.5)
+    assert pool.committed > 50
+    assert_no_crashes(cluster)
+
+
+def test_tpcc_new_order_increments_district_counter(tpcc_cluster):
+    cluster, workload = tpcc_cluster
+    session = cluster.session("node-1")
+    rng = cluster.sim.rng("t")
+    body = workload.new_order_body(rng, home=1)
+
+    def run_one():
+        txn = yield from session.begin(label="no")
+        yield from body(session, txn)
+        yield from session.commit(txn)
+
+    before = cluster.dump_table("district")
+    cluster.sim.run_until_complete(cluster.spawn(run_one()))
+    after = cluster.dump_table("district")
+    changed = [k for k in before if before[k]["next_o_id"] != after[k]["next_o_id"]]
+    assert len(changed) == 1
+    key = changed[0]
+    assert after[key]["next_o_id"] == before[key]["next_o_id"] + 1
+    # The order and its lines exist.
+    o_id = before[key]["next_o_id"]
+    orders = cluster.dump_table("orders")
+    assert (key[0], key[1], o_id) in orders
+
+
+def test_tpcc_payment_updates_balances(tpcc_cluster):
+    cluster, workload = tpcc_cluster
+    session = cluster.session("node-1")
+    rng = cluster.sim.rng("t2")
+    body = workload.payment_body(rng, home=1)
+
+    def run_one():
+        txn = yield from session.begin(label="pay")
+        yield from body(session, txn)
+        yield from session.commit(txn)
+
+    cluster.sim.run_until_complete(cluster.spawn(run_one()))
+    warehouses = cluster.dump_table("warehouse")
+    assert any(w["ytd"] > 0 for w in warehouses.values())
+    history = cluster.dump_table("history")
+    assert len(history) == 1
+
+
+def test_tpcc_delivery_consumes_new_orders(tpcc_cluster):
+    cluster, workload = tpcc_cluster
+    session = cluster.session("node-1")
+    rng = cluster.sim.rng("t3")
+    body = workload.delivery_body(rng, home=1)
+    before = len(cluster.dump_table("new_orders"))
+
+    def run_one():
+        txn = yield from session.begin(label="del")
+        yield from body(session, txn)
+        yield from session.commit(txn)
+
+    cluster.sim.run_until_complete(cluster.spawn(run_one()))
+    after = len(cluster.dump_table("new_orders"))
+    assert after == before - workload.config.districts_per_warehouse
+
+
+def test_tpcc_distributed_fraction_close_to_config():
+    cluster = Cluster(ClusterConfig(num_nodes=3))
+    workload = TpccWorkload(cluster, TpccConfig(num_warehouses=6))
+    rng = cluster.sim.rng("frac")
+    remote = sum(
+        1 for _ in range(2000) if workload._pick_warehouses(rng, 1)[1] != 1
+    )
+    assert 0.05 < remote / 2000 < 0.15
+
+
+# ----------------------------------------------------------------------
+# Hybrid A: batch ingestion
+# ----------------------------------------------------------------------
+def test_batch_ingest_appends_monotonic_keys():
+    cluster = Cluster(ClusterConfig(num_nodes=3))
+    workload = YcsbWorkload(cluster, YcsbConfig(num_tuples=200, num_shards=6))
+    workload.create()
+    client = BatchIngestClient(
+        cluster, "node-1", start_key=200, batch_tuples=50, num_batches=3
+    )
+    client.start()
+    cluster.run(until=30.0)
+    assert client.process.finished
+    assert client.committed == 3
+    assert client.tuples_ingested == 150
+    dump = cluster.dump_table("ycsb")
+    assert len(dump) == 350
+    assert all(200 + i in dump for i in range(150))
+    assert_no_crashes(cluster)
+
+
+def test_batch_ingest_commits_via_2pc_across_nodes():
+    cluster = Cluster(ClusterConfig(num_nodes=3))
+    workload = YcsbWorkload(cluster, YcsbConfig(num_tuples=100, num_shards=6))
+    workload.create()
+    client = BatchIngestClient(
+        cluster, "node-1", start_key=100, batch_tuples=60, num_batches=1
+    )
+    client.start()
+    cluster.run(until=30.0)
+    # 60 hashed keys necessarily span several nodes: the batch is distributed.
+    assert client.committed == 1
+    assert len(cluster.dump_table("ycsb")) == 160
+
+
+# ----------------------------------------------------------------------
+# Hybrid B: analytical duplicate check
+# ----------------------------------------------------------------------
+def test_analytical_client_counts_rows_and_finds_no_duplicates():
+    cluster = Cluster(ClusterConfig(num_nodes=3))
+    workload = YcsbWorkload(cluster, YcsbConfig(num_tuples=400, num_shards=6))
+    workload.create()
+    client = AnalyticalClient(cluster, "node-2")
+    client.start()
+    cluster.run(until=30.0)
+    assert client.process.finished
+    assert client.rows_seen == 400
+    assert client.duplicates == 0
+    assert client.committed == 1
+    assert_no_crashes(cluster)
+
+
+def test_analytical_snapshot_ignores_concurrent_inserts():
+    cluster = Cluster(ClusterConfig(num_nodes=3))
+    workload = YcsbWorkload(cluster, YcsbConfig(num_tuples=400, num_shards=6))
+    workload.create()
+    client = AnalyticalClient(cluster, "node-2")
+    ingest = BatchIngestClient(
+        cluster, "node-1", start_key=400, batch_tuples=100, num_batches=1
+    )
+    client.start()
+    cluster.run(until=0.001)
+    ingest.start()
+    cluster.run(until=60.0)
+    assert client.process.finished and ingest.process.finished
+    # The scan's snapshot predates the batch commit: it sees exactly the
+    # original rows even though the batch landed mid-scan.
+    assert client.rows_seen == 400
+    assert client.duplicates == 0
+    assert len(cluster.dump_table("ycsb")) == 500
