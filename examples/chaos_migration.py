@@ -1,0 +1,60 @@
+"""A consolidation plan surviving injected chaos.
+
+A four-node cluster drains node-1 (Remus consolidation) while a contended
+counter workload runs. A scripted fault plan then
+
+1. crashes the migration machinery in the middle of a snapshot copy,
+2. crashes a destination node (with replica failover), and
+3. partitions a pair of nodes for half a second.
+
+The migration supervisor detects each casualty, runs §3.7 crash recovery,
+and retries the affected batches; the invariant checker verifies snapshot
+isolation (no lost counter updates), single ownership, cache coherence and
+the absence of orphaned PREPARED transactions throughout. The recovery
+timeline below is reconstructed purely from the cluster's metric marks.
+
+Run with:  python examples/chaos_migration.py
+"""
+
+from repro.experiments.chaos import ChaosConfig, run_chaos
+
+FAULT_SPEC = (
+    "mcrash:snapshot_copy@0.5; "  # kill the migration mid-copy
+    "crash:node-2@0.9+0.4; "      # crash a destination, failover in 0.4s
+    "partition:node-1|node-3@1.6+0.5"
+)
+
+
+def main():
+    print("injecting faults:\n  " + FAULT_SPEC.replace("; ", "\n  ") + "\n")
+    result = run_chaos(ChaosConfig(seed=7, fault_spec=FAULT_SPEC))
+
+    print("fault / recovery timeline (from cluster metrics):")
+    interesting = (
+        "fault:", "heal:", "migration_crash", "migration_recovered",
+        "batch_skipped", "node_failed", "node_recovered",
+    )
+    for t, name in result.marks:
+        if any(name.startswith(prefix) for prefix in interesting):
+            print("  {:>7.3f}s  {}".format(t, name))
+    print()
+    print("supervisor log:")
+    for t, description in result.supervisor_events:
+        print("  {:>7.3f}s  {}".format(t, description))
+    print()
+
+    stats = result.plan_stats
+    print("committed counter increments: {}".format(result.committed))
+    print("crash recoveries: {}   batch retries: {}   batches skipped: {}".format(
+        stats.crash_recoveries, stats.migration_retries, stats.batches_skipped))
+    print("invariant violations: {}".format(len(result.violations)))
+    print("plan outcome: {} at t={:.3f}s".format(
+        "degraded" if result.degraded else "completed", result.finished_at))
+
+    assert result.violations == []
+    assert stats.crash_recoveries >= 1
+    print("\nall invariants held; the plan self-healed through the faults.")
+
+
+if __name__ == "__main__":
+    main()

@@ -6,6 +6,8 @@ Examples::
     python -m repro experiment hybrid_a --approach remus
     python -m repro experiment load_balancing --approach squall
     python -m repro experiment high_contention
+    python -m repro chaos --seed 3
+    python -m repro chaos --fault-plan "crash:node-2@1.0; partition:node-1|node-3@2.0+0.5"
 """
 
 import argparse
@@ -68,6 +70,51 @@ def _print_result(result):
         print("{}: {}".format(key, value))
 
 
+def _run_chaos(args):
+    from repro.experiments.chaos import ChaosConfig, run_chaos
+
+    config = ChaosConfig(seed=args.seed)
+    if args.fault_plan:
+        from repro.faults.plan import FaultPlan
+
+        try:
+            FaultPlan.parse(args.fault_plan)
+        except ValueError as exc:
+            print("error: bad --fault-plan: {}".format(exc), file=sys.stderr)
+            return 2
+        config.fault_spec = args.fault_plan
+    if args.num_faults is not None:
+        config.extra_faults = max(0, args.num_faults - 3)
+    result = run_chaos(config)
+    _print_chaos_result(result)
+    return 0
+
+
+def _print_chaos_result(result):
+    print("chaos run (seed={})".format(result.seed))
+    print()
+    print("fault plan:")
+    for line in result.fault_plan.splitlines():
+        print("  " + line)
+    print()
+    print("fault / recovery timeline:")
+    interesting = ("fault:", "heal:", "migration_crash", "migration_recovered",
+                   "batch_skipped", "node_failed", "node_recovered")
+    for t, name in result.marks:
+        if any(name.startswith(p) for p in interesting):
+            print("  {:>8.3f}s  {}".format(t, name))
+    for t, description in result.supervisor_events:
+        print("  {:>8.3f}s  supervisor: {}".format(t, description))
+    stats = result.plan_stats
+    print()
+    print("committed increments: {}".format(result.committed))
+    print("crash recoveries: {}  batch retries: {}  batches skipped: {}".format(
+        stats.crash_recoveries, stats.migration_retries, stats.batches_skipped))
+    print("invariant violations: {}".format(len(result.violations)))
+    print("plan outcome: {}".format("degraded" if result.degraded else "completed"))
+    print("finished at t={:.3f}s".format(result.finished_at))
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -86,6 +133,25 @@ def main(argv=None):
     )
     exp.add_argument("--seed", type=int, default=0)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="consolidation under fault injection with live invariant checks",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--fault-plan",
+        default=None,
+        help="explicit fault spec, e.g. "
+        "'crash:node-2@1.0; partition:node-1|node-3@2.0+0.5; mcrash:snapshot_copy@0.3' "
+        "(default: a randomized plan drawn from the seed)",
+    )
+    chaos.add_argument(
+        "--num-faults",
+        type=int,
+        default=None,
+        help="approximate number of random faults (ignored with --fault-plan)",
+    )
+
     args = parser.parse_args(argv)
     if args.command == "list":
         from repro.migration import APPROACHES
@@ -97,6 +163,8 @@ def main(argv=None):
         result = _run_experiment(args.scenario, args.approach, args.seed)
         _print_result(result)
         return 0
+    if args.command == "chaos":
+        return _run_chaos(args)
     return 1
 
 

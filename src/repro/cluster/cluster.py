@@ -10,12 +10,14 @@ protocol hooks (access hooks, the routing gate, cache read-through control).
 from repro.cluster.coordinator import Session
 from repro.cluster.node import Node
 from repro.cluster.shard import HashPartitioner, ShardId, TableSchema
-from repro.cluster.shardmap import BOOTSTRAP_XID, SHARDMAP_SHARD
+from repro.cluster.shardmap import BOOTSTRAP_XID
 from repro.config import ClusterConfig
 from repro.metrics.collector import MetricsCollector
+from repro.sim.events import AllOf
 from repro.sim.kernel import Simulator
 from repro.sim.network import Network
-from repro.txn.errors import TransactionError
+from repro.sim.rpc import RetryPolicy, RpcStats, RpcTimeout, reliable_send
+from repro.txn.errors import RpcAbort, TransactionError
 from repro.txn.timestamps import DtsOracle, GtsOracle
 
 CONTROL_PLANE = "control-plane"
@@ -49,6 +51,66 @@ class Cluster:
         self._access_hooks = {}  # shard_id -> [hook]
         self._quiesce_waiters = []
         self._vacuum_holds = []
+        self.rpc_stats = RpcStats()
+        self.rpc_policy = RetryPolicy(
+            timeout=self.config.rpc_timeout,
+            max_attempts=self.config.rpc_max_attempts,
+            backoff_base=self.config.rpc_backoff_base,
+            backoff_cap=self.config.rpc_backoff_cap,
+        )
+        self.rpc_commit_policy = RetryPolicy(
+            timeout=self.config.rpc_timeout,
+            max_attempts=0,
+            backoff_base=self.config.rpc_backoff_base,
+            backoff_cap=self.config.rpc_backoff_cap,
+            persistent=True,
+        )
+
+    def rpc_send(self, src, dst, size=0, persistent=False):
+        """Generator: one cross-node protocol hop with timeout + retry.
+
+        Bounded hops raise :class:`~repro.txn.errors.RpcAbort` (a
+        ``TransactionError``, so ordinary abort/retry handling applies) once
+        the retry budget is exhausted; ``persistent`` hops — 2PC decision
+        delivery — retransmit with capped backoff until the link heals.
+        """
+        policy = self.rpc_commit_policy if persistent else self.rpc_policy
+        try:
+            yield from reliable_send(
+                self.network, src, dst, size, policy=policy, stats=self.rpc_stats
+            )
+        except RpcTimeout as exc:
+            raise RpcAbort(str(exc)) from exc
+
+    def rpc_broadcast(self, src, size=0, persistent=False):
+        """Generator: reliably deliver a message to every *other* node.
+
+        A plain :meth:`Network.broadcast` is an ``AllOf`` over raw sends, so a
+        single partitioned link wedges the waiter forever. This fans out one
+        :meth:`rpc_send` per destination instead; a bounded broadcast raises
+        :class:`~repro.txn.errors.RpcAbort` if any leg exhausts its budget.
+        """
+
+        def leg(dst):
+            # Workers run detached: hold a failure as a value so it surfaces
+            # through the parent instead of sim.failed_processes.
+            try:
+                yield from self.rpc_send(src, dst, size, persistent=persistent)
+            except RpcAbort as exc:
+                return exc
+            return None
+
+        procs = [
+            self.sim.spawn(leg(dst), name="bcast:{}->{}".format(src, dst))
+            for dst in self.node_ids()
+            if dst != src
+        ]
+        if not procs:
+            return
+        results = yield AllOf(procs)
+        for result in results:
+            if isinstance(result, RpcAbort):
+                raise result
 
     def _node_skews(self):
         rng = self.sim.rng("clock-skew")
@@ -306,7 +368,12 @@ class Cluster:
         self._vacuum_holds.append(ts)
 
     def remove_vacuum_hold(self, ts):
-        self._vacuum_holds.remove(ts)
+        """Release a vacuum hold. Idempotent: crash/recovery paths may race
+        a migration's own cleanup and release the same hold twice."""
+        try:
+            self._vacuum_holds.remove(ts)
+        except ValueError:
+            pass
 
     def vacuum_horizon(self):
         candidates = [t.start_ts for t in self.active_txns.values()]

@@ -100,13 +100,20 @@ class Session:
         return commit_ts
 
     def abort(self, txn, reason=None):
-        """Generator: ROLLBACK on every participant."""
+        """Generator: ROLLBACK on every participant.
+
+        Rollback delivery is a 2PC decision: it is retransmitted until it
+        arrives (persistent policy), so a partitioned participant's locks are
+        released as soon as the link heals instead of leaking forever.
+        """
         if txn.finished:
             return
         for participant in list(txn.participants.values()):
             node = self.cluster.nodes[participant.node_id]
             if participant.node_id != self.node_id:
-                yield self.network.send(self.node_id, participant.node_id, _RPC_SIZE)
+                yield from self.cluster.rpc_send(
+                    self.node_id, participant.node_id, _RPC_SIZE, persistent=True
+                )
             yield from node.manager.local_abort(txn)
         txn.state = TxnState.ABORTED
         self.cluster.finish_txn(txn, committed=False, reason=reason)
@@ -139,24 +146,33 @@ class Session:
                 yield from node.wait_available()
             if remote:
                 self.oracle.observe(participant.node_id, self.oracle.peek(self.node_id))
-                yield self.network.send(self.node_id, participant.node_id, _RPC_SIZE)
+                yield from self.cluster.rpc_send(
+                    self.node_id, participant.node_id, _RPC_SIZE
+                )
             yield from node.manager.local_prepare(txn)
             ack_ts = self.oracle.local_now(participant.node_id)
             if remote:
-                yield self.network.send(participant.node_id, self.node_id, _RPC_SIZE)
+                yield from self.cluster.rpc_send(
+                    participant.node_id, self.node_id, _RPC_SIZE
+                )
                 self.oracle.observe(self.node_id, ack_ts)
             return (True, ack_ts)
         except TransactionError as exc:
             return (False, exc)
 
     def _commit_one(self, txn, participant, commit_ts):
+        # The commit decision is retransmitted until delivered (persistent
+        # policy): a transaction past its prepare phase cannot be aborted, so
+        # the only option under a partition is to keep trying until it heals.
         node = self.cluster.nodes[participant.node_id]
         if node.failed:
             yield from node.wait_available()
         remote = participant.node_id != self.node_id
         if remote:
             self.oracle.observe(participant.node_id, self.oracle.peek(self.node_id))
-            yield self.network.send(self.node_id, participant.node_id, _RPC_SIZE)
+            yield from self.cluster.rpc_send(
+                self.node_id, participant.node_id, _RPC_SIZE, persistent=True
+            )
         self.oracle.observe(participant.node_id, commit_ts)
         yield from node.manager.local_commit(txn, commit_ts)
 
@@ -216,14 +232,16 @@ class Session:
             remote = owner != self.node_id
             if remote:
                 self.oracle.observe(owner, self.oracle.peek(self.node_id))
-                yield self.network.send(self.node_id, owner, _RPC_SIZE)
+                yield from self.cluster.rpc_send(self.node_id, owner, _RPC_SIZE)
             if self.cluster.cc_mode == "shard_lock":
                 yield from target.manager.acquire_shard_lock(
                     txn, shard_id, SharedExclusiveLockTable.SHARED
                 )
             keys = yield from target.manager.scan(txn, shard_id)
             if remote:
-                yield self.network.send(owner, self.node_id, _RPC_SIZE + 8 * len(keys))
+                yield from self.cluster.rpc_send(
+                    owner, self.node_id, _RPC_SIZE + 8 * len(keys)
+                )
                 self.oracle.observe(self.node_id, self.oracle.peek(owner))
             all_keys.extend(keys)
         return all_keys
@@ -241,7 +259,7 @@ class Session:
         remote = owner != self.node_id
         if remote:
             self.oracle.observe(owner, self.oracle.peek(self.node_id))
-            yield self.network.send(self.node_id, owner, _RPC_SIZE)
+            yield from self.cluster.rpc_send(self.node_id, owner, _RPC_SIZE)
         if self.cluster.cc_mode == "shard_lock":
             mode = (
                 SharedExclusiveLockTable.EXCLUSIVE
@@ -267,7 +285,7 @@ class Session:
         else:
             raise ValueError("unknown op {!r}".format(op))
         if remote:
-            yield self.network.send(owner, self.node_id, _RPC_SIZE)
+            yield from self.cluster.rpc_send(owner, self.node_id, _RPC_SIZE)
             self.oracle.observe(self.node_id, self.oracle.peek(owner))
         return result
 

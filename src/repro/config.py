@@ -50,4 +50,13 @@ class ClusterConfig:
     # replica round trip.
     replication_factor: int = 0
     replica_sync_latency: float = 0.0004  # per WAL flush with replication on
+    # RPC discipline (chaos hardening): every cross-node protocol hop waits
+    # at most rpc_timeout for delivery, retries with exponential backoff and
+    # gives up (aborting the transaction) after rpc_max_attempts. 2PC
+    # decision delivery (commit/abort records) retries forever instead —
+    # a decided transaction's outcome must reach every participant.
+    rpc_timeout: float = 0.05
+    rpc_max_attempts: int = 4
+    rpc_backoff_base: float = 0.02
+    rpc_backoff_cap: float = 0.5
     seed: int = 0

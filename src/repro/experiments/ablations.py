@@ -17,7 +17,7 @@
 
 from repro.cluster import Cluster
 from repro.config import ClusterConfig, CostModel
-from repro.migration import MigrationPlan, RemusMigration, StopAndCopyMigration, run_plan
+from repro.migration import MigrationPlan, RemusMigration, run_plan
 from repro.workloads.client import run_transaction
 from repro.workloads.ycsb import YcsbConfig, YcsbWorkload
 

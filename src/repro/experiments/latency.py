@@ -7,9 +7,9 @@ transaction latency. We measure the increase as (average committed latency
 during the migration window) minus (average before), per approach.
 """
 
-from repro.experiments.consolidation import ConsolidationConfig, run_hybrid_a, run_hybrid_b
-from repro.experiments.load_balancing import LoadBalancingConfig, run_load_balancing
-from repro.experiments.scale_out import ScaleOutConfig, run_scale_out
+from repro.experiments.consolidation import run_hybrid_a, run_hybrid_b
+from repro.experiments.load_balancing import run_load_balancing
+from repro.experiments.scale_out import run_scale_out
 
 SCENARIOS = ("hybrid_a", "hybrid_b", "load_balancing", "scale_out")
 

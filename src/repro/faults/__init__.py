@@ -1,0 +1,27 @@
+"""Deterministic fault injection (the chaos harness).
+
+Faults are scheduled on the *simulated* clock from a declarative
+:class:`~repro.faults.plan.FaultPlan` — parsed from a compact spec string or
+generated from a seeded RNG stream — and injected by a
+:class:`~repro.faults.nemesis.Nemesis` process. Because every fault fires at
+a deterministic virtual time, a chaos run is exactly replayable: same seed,
+same fault schedule, same event timeline.
+
+:class:`~repro.faults.invariants.InvariantChecker` rides along and
+continuously asserts the safety properties that must hold *through* faults
+and recovery: a single owner per shard, shard-map replica/cache coherence,
+no orphaned PREPARED transactions, and (via its final check) snapshot
+isolation's no-lost-updates guarantee.
+"""
+
+from repro.faults.invariants import InvariantChecker, InvariantViolation
+from repro.faults.nemesis import Nemesis
+from repro.faults.plan import Fault, FaultPlan
+
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "InvariantChecker",
+    "InvariantViolation",
+    "Nemesis",
+]

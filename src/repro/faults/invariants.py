@@ -1,0 +1,197 @@
+"""Continuous safety checking under fault injection.
+
+The checker is a background process that inspects cluster state every
+``interval`` simulated seconds and records violations of the invariants that
+must survive any combination of faults and recoveries:
+
+* **single owner** — every shard has exactly one live owning node, and the
+  latest committed shard-map replica rows agree with it;
+* **cache coherence** — no coordinator cache entry claims an ownership
+  version *newer* than the authoritative shard map (stale-but-older entries
+  are legal by design: §3.5.1's read-through + T_m commit-timestamp ordering
+  makes them safe);
+* **no orphaned PREPARED** — every PREPARED CLOG entry is referenced by a
+  live transaction, a residual shadow awaiting resolution, or gets resolved
+  within a grace period (2PC decisions may legitimately be in flight across
+  a partition);
+* **no lost updates** (snapshot isolation) — checked at the end against a
+  counter workload: the committed counter sum must equal the number of
+  committed increments (:meth:`final_check`).
+
+Transient in-flight states are exempted with a *suspect/confirm* scheme: a
+condition only becomes a violation after it persists for ``grace`` seconds,
+and checks that migrations legitimately perturb are skipped while the
+supervisor reports a migration or recovery in flight.
+"""
+
+from repro.cluster.shardmap import BOOTSTRAP_XID, SHARDMAP_SHARD
+from repro.storage.clog import TxnStatus
+
+
+class InvariantViolation(AssertionError):
+    """Raised by :meth:`InvariantChecker.assert_ok`."""
+
+
+class InvariantChecker:
+    """Background safety checker."""
+
+    def __init__(self, cluster, supervisor=None, interval=0.25, grace=2.0):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.supervisor = supervisor
+        self.interval = interval
+        self.grace = grace
+        self.violations = []  # (time, description)
+        self.checks_run = 0
+        self._suspects = {}  # suspect key -> first time seen
+
+    # ------------------------------------------------------------------
+    def run(self):
+        """Generator: check forever (detached background process)."""
+        while True:
+            yield self.interval
+            self.check_once()
+
+    def check_once(self):
+        self.checks_run += 1
+        self._check_single_owner()
+        self._check_cache_coherence()
+        self._check_prepared_orphans()
+
+    def assert_ok(self):
+        if self.violations:
+            lines = "\n".join(
+                "  t={:.3f}: {}".format(t, d) for t, d in self.violations
+            )
+            raise InvariantViolation(
+                "{} invariant violation(s):\n{}".format(len(self.violations), lines)
+            )
+
+    def final_check(self, table, expected_sum, field="n"):
+        """No-lost-updates: committed state of ``table`` must sum to the
+        number of committed increments (counter workload)."""
+        total = sum(row[field] for row in self.cluster.dump_table(table).values())
+        if total != expected_sum:
+            self._violate(
+                "lost updates on {!r}: committed sum {} != {} committed increments".format(
+                    table, total, expected_sum
+                )
+            )
+        self.assert_ok()
+
+    # ------------------------------------------------------------------
+    def _migration_in_flight(self):
+        supervisor = self.supervisor
+        return supervisor is not None and supervisor.current is not None
+
+    def _check_single_owner(self):
+        owners = self.cluster.shard_owners
+        for shard_id, owner in owners.items():
+            if owner not in self.cluster.nodes:
+                self._violate(
+                    "shard {} owned by unknown node {!r}".format(shard_id, owner)
+                )
+        if self._migration_in_flight():
+            # T_m / recovery may be flipping replica rows right now.
+            self._clear_suspects("replica:")
+            return
+        for node_id, node in self.cluster.nodes.items():
+            heap = node.heap_for(SHARDMAP_SHARD)
+            for shard_id, owner in owners.items():
+                if shard_id == SHARDMAP_SHARD:
+                    continue
+                row_owner = _latest_committed_owner(heap, node.clog, shard_id)
+                key = "replica:{}:{}".format(node_id, shard_id)
+                if row_owner is not None and row_owner != owner:
+                    self._suspect(
+                        key,
+                        "shard-map replica on {} says {} owns {}, "
+                        "authoritative owner is {}".format(
+                            node_id, row_owner, shard_id, owner
+                        ),
+                    )
+                else:
+                    self._suspects.pop(key, None)
+
+    def _check_cache_coherence(self):
+        """A cache entry must never be newer than the authoritative map."""
+        owners = self.cluster.shard_owners
+        if self._migration_in_flight():
+            self._clear_suspects("cache:")
+            return
+        for node_id, node in self.cluster.nodes.items():
+            cache = node.shardmap_cache
+            for shard_id, owner in owners.items():
+                if shard_id == SHARDMAP_SHARD:
+                    continue
+                if cache.is_read_through(shard_id):
+                    continue
+                try:
+                    cached_owner, _cts = cache.entry(shard_id)
+                except KeyError:
+                    continue
+                key = "cache:{}:{}".format(node_id, shard_id)
+                if cached_owner != owner:
+                    # Stale caches heal on the next refresh broadcast; only a
+                    # *persistently* wrong entry is a coherence bug.
+                    self._suspect(
+                        key,
+                        "cache on {} routes {} to {}, owner is {}".format(
+                            node_id, shard_id, cached_owner, owner
+                        ),
+                    )
+                else:
+                    self._suspects.pop(key, None)
+
+    def _check_prepared_orphans(self):
+        referenced = set()
+        for txn in self.cluster.active_txns.values():
+            for participant in txn.participants.values():
+                referenced.add((participant.node_id, participant.xid))
+        if self.supervisor is not None:
+            for migration in getattr(self.supervisor.plan, "migrations", []):
+                propagation = getattr(migration, "propagation", None)
+                if propagation is None:
+                    continue
+                for shadow, _entry in propagation._validated.values():
+                    for participant in shadow.participants.values():
+                        referenced.add((participant.node_id, participant.xid))
+        for node_id, node in self.cluster.nodes.items():
+            for xid, status in node.clog._status.items():
+                key = "prepared:{}:{}".format(node_id, xid)
+                if status is not TxnStatus.PREPARED:
+                    self._suspects.pop(key, None)
+                    continue
+                if (node_id, xid) in referenced:
+                    self._suspects.pop(key, None)
+                    continue
+                self._suspect(
+                    key,
+                    "orphaned PREPARED xid {} on {} (no live transaction "
+                    "references it)".format(xid, node_id),
+                )
+
+    # ------------------------------------------------------------------
+    def _suspect(self, key, description):
+        first = self._suspects.setdefault(key, self.sim.now)
+        if self.sim.now - first >= self.grace:
+            self._violate(description)
+            del self._suspects[key]
+
+    def _clear_suspects(self, prefix):
+        for key in [k for k in self._suspects if k.startswith(prefix)]:
+            del self._suspects[key]
+
+    def _violate(self, description):
+        self.violations.append((self.sim.now, description))
+
+
+def _latest_committed_owner(heap, clog, shard_id):
+    """Peek the newest committed shard-map row for ``shard_id`` without
+    paying MVCC costs or prepare-waiting (pure introspection)."""
+    for version in heap.chain(shard_id):
+        if version.xmin == BOOTSTRAP_XID:
+            return version.value
+        if clog.status(version.xmin) is TxnStatus.COMMITTED:
+            return version.value
+    return None

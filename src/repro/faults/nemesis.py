@@ -1,0 +1,113 @@
+"""The nemesis: a simulated process that injects scheduled faults.
+
+The nemesis walks a :class:`~repro.faults.plan.FaultPlan` on the virtual
+clock. Each fault is started in its own process so a long-lived fault (a
+partition waiting to heal, a migration crash waiting for its target phase)
+never delays the faults scheduled after it. Every injection and heal is
+recorded both on the nemesis timeline and as a metrics mark
+(``fault:...`` / ``heal:...``) so recovery timelines can be reconstructed
+from the ordinary metrics stream.
+"""
+
+
+class Nemesis:
+    """Injects a fault plan into a running cluster."""
+
+    def __init__(self, cluster, plan, supervisor=None, phase_wait=8.0):
+        """``supervisor`` is the :class:`MigrationSupervisor` whose in-flight
+        migration ``crash_migration`` faults target; without one those faults
+        are no-ops. ``phase_wait`` bounds how long a phase-targeted crash
+        polls for its phase before giving up."""
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.plan = plan
+        self.supervisor = supervisor
+        self.phase_wait = phase_wait
+        self.timeline = []  # (time, description)
+
+    def run(self):
+        """Generator: start every fault at its scheduled time."""
+        for fault in self.plan.faults:
+            if fault.at > self.sim.now:
+                yield fault.at - self.sim.now
+            self.cluster.spawn(
+                self._inject(fault), name="nemesis:{}".format(fault.kind)
+            )
+
+    # ------------------------------------------------------------------
+    def _inject(self, fault):
+        handler = getattr(self, "_inject_" + fault.kind)
+        yield from handler(fault)
+
+    def _inject_crash_node(self, fault):
+        self._note("fault:crash_node:{}".format(fault.node))
+        supervisor = self.supervisor
+        if supervisor is not None and supervisor.current is not None:
+            migration = supervisor.current
+            if fault.node in (migration.source, migration.dest):
+                # The machinery driving the migration lived on that node.
+                supervisor.crash_current("node {} crashed".format(fault.node))
+        self.cluster.fail_node(fault.node, failover_time=fault.failover)
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def _inject_partition(self, fault):
+        network = self.cluster.network
+        network.partition(fault.node, fault.peer)
+        self._note("fault:partition:{}|{}".format(fault.node, fault.peer))
+        yield fault.duration
+        network.heal_partition(fault.node, fault.peer)
+        self._note("heal:partition:{}|{}".format(fault.node, fault.peer))
+
+    def _inject_loss(self, fault):
+        network = self.cluster.network
+        network.set_loss(fault.node, fault.peer, fault.value)
+        self._note("fault:loss:{}|{}:{:.2f}".format(fault.node, fault.peer, fault.value))
+        yield fault.duration
+        network.set_loss(fault.node, fault.peer, 0.0)
+        self._note("heal:loss:{}|{}".format(fault.node, fault.peer))
+
+    def _inject_latency(self, fault):
+        network = self.cluster.network
+        network.set_extra_latency(fault.node, fault.peer, fault.value)
+        self._note(
+            "fault:latency:{}|{}:{:.3f}".format(fault.node, fault.peer, fault.value)
+        )
+        yield fault.duration
+        network.set_extra_latency(fault.node, fault.peer, 0.0)
+        self._note("heal:latency:{}|{}".format(fault.node, fault.peer))
+
+    def _inject_stall(self, fault):
+        manager = self.cluster.nodes[fault.node].manager
+        until = self.sim.now + fault.duration
+        manager.flush_stall_until = max(manager.flush_stall_until, until)
+        self._note("fault:stall:{}:{:.2f}".format(fault.node, fault.duration))
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def _inject_crash_migration(self, fault):
+        from repro.sim.events import AnyOf, Timeout
+
+        supervisor = self.supervisor
+        if supervisor is None:
+            self._note("fault:crash_migration:skipped (no supervisor)")
+            return
+        if fault.phase is not None and supervisor.current_phase() != fault.phase:
+            # Phases can be far shorter than any poll interval; wait on the
+            # supervisor's phase-entry event (bounded by phase_wait).
+            yield AnyOf([supervisor.phase_event(fault.phase), Timeout(self.phase_wait)])
+        else:
+            deadline = self.sim.now + self.phase_wait
+            while supervisor.current is None and self.sim.now < deadline:
+                yield 0.05
+        reason = "nemesis crash"
+        if fault.phase is not None:
+            reason = "nemesis crash at {}".format(fault.phase)
+        if supervisor.crash_current(reason):
+            self._note("fault:crash_migration:{}".format(fault.phase or "any"))
+        else:
+            self._note("fault:crash_migration:missed")
+
+    def _note(self, description):
+        self.timeline.append((self.sim.now, description))
+        self.cluster.metrics.mark(description)

@@ -1,0 +1,218 @@
+"""Declarative fault schedules on the simulated clock.
+
+A :class:`FaultPlan` is an ordered list of :class:`Fault` records. Plans come
+from three places:
+
+* hand-written in code (tests pin exact scenarios);
+* parsed from a compact spec string (the CLI's ``--fault-plan``), e.g.::
+
+      crash:node-1@1.0; partition:node-0|node-2@2.0+0.5; mcrash:snapshot_copy@0.2
+
+* drawn from a seeded RNG stream (:meth:`FaultPlan.random`) for soak tests —
+  the same seed always yields the same plan.
+
+Spec grammar, one fault per ``;``-separated token::
+
+    crash:<node>@<at>[+<failover>]          crash + replica failover
+    partition:<a>|<b>@<at>+<duration>       cut the link, heal after duration
+    loss:<a>|<b>:<p>@<at>+<duration>        drop each message with prob. p
+    latency:<a>|<b>:<extra>@<at>+<duration> add extra seconds per message
+    stall:<node>@<at>+<duration>            WAL flushes block until at+duration
+    mcrash@<at>                             crash the in-flight migration
+    mcrash:<phase>@<at>                     ... once it reaches <phase>
+"""
+
+from dataclasses import dataclass, field
+
+KINDS = (
+    "crash_node",
+    "partition",
+    "loss",
+    "latency",
+    "stall",
+    "crash_migration",
+)
+
+_ALIASES = {"crash": "crash_node", "mcrash": "crash_migration"}
+
+# Remus phase names a phase-targeted migration crash may wait for.
+PHASES = ("snapshot_copy", "async_propagation", "mode_change", "dual_execution")
+
+
+@dataclass
+class Fault:
+    """One scheduled fault."""
+
+    kind: str
+    at: float
+    node: str = None  # crash/stall target
+    peer: str = None  # partition/loss/latency: the link is (node, peer)
+    duration: float = 0.0  # how long the fault persists before healing
+    value: float = 0.0  # loss probability / extra latency seconds
+    phase: str = None  # crash_migration: fire when this phase is reached
+    failover: float = 0.5  # crash_node: replica promotion delay
+
+    def describe(self):
+        parts = ["{:>8.3f}s {}".format(self.at, self.kind)]
+        if self.node is not None:
+            parts.append(self.node)
+        if self.peer is not None:
+            parts.append("<->" + self.peer)
+        if self.phase is not None:
+            parts.append("phase=" + self.phase)
+        if self.value:
+            parts.append("value={}".format(self.value))
+        if self.duration:
+            parts.append("for {}s".format(self.duration))
+        return " ".join(parts)
+
+
+@dataclass
+class FaultPlan:
+    """An ordered schedule of faults."""
+
+    faults: list = field(default_factory=list)
+
+    def __post_init__(self):
+        for fault in self.faults:
+            if fault.kind not in KINDS:
+                raise ValueError("unknown fault kind {!r}".format(fault.kind))
+        self.faults.sort(key=lambda f: f.at)
+
+    def describe(self):
+        if not self.faults:
+            return "(no faults)"
+        return "\n".join(f.describe() for f in self.faults)
+
+    def kinds(self):
+        return {f.kind for f in self.faults}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec):
+        """Parse a compact ``;``-separated spec string (grammar above)."""
+        faults = []
+        for token in spec.split(";"):
+            token = token.strip()
+            if not token:
+                continue
+            faults.append(_parse_fault(token))
+        return cls(faults)
+
+    @classmethod
+    def random(cls, rng, node_ids, horizon, extra_faults=2):
+        """Draw a randomized plan from a seeded stream.
+
+        Every random plan contains at least a mid-migration crash, a network
+        partition and a node crash (the chaos soak test's required mix), plus
+        ``extra_faults`` additional draws across all kinds.
+        """
+        node_ids = list(node_ids)
+
+        def pair():
+            return rng.sample(node_ids, 2)
+
+        faults = []
+        # Guaranteed mix: migration crash (often phase-targeted), partition,
+        # node crash.
+        phase = rng.choice((None,) + PHASES)
+        faults.append(
+            Fault(
+                "crash_migration",
+                at=rng.uniform(0.05, horizon * 0.5),
+                phase=phase,
+            )
+        )
+        a, b = pair()
+        faults.append(
+            Fault(
+                "partition",
+                at=rng.uniform(0.05, horizon * 0.7),
+                node=a,
+                peer=b,
+                duration=rng.uniform(0.2, min(1.5, horizon * 0.3)),
+            )
+        )
+        faults.append(
+            Fault(
+                "crash_node",
+                at=rng.uniform(0.05, horizon * 0.7),
+                node=rng.choice(node_ids),
+                failover=rng.uniform(0.2, 0.6),
+            )
+        )
+        for _ in range(extra_faults):
+            kind = rng.choice(("loss", "latency", "stall", "partition"))
+            at = rng.uniform(0.05, horizon * 0.8)
+            duration = rng.uniform(0.1, min(1.0, horizon * 0.2))
+            if kind == "stall":
+                faults.append(
+                    Fault(kind, at=at, node=rng.choice(node_ids), duration=duration)
+                )
+                continue
+            a, b = pair()
+            if kind == "loss":
+                value = rng.uniform(0.05, 0.4)
+            elif kind == "latency":
+                value = rng.uniform(0.005, 0.05)
+            else:
+                value = 0.0
+            faults.append(
+                Fault(kind, at=at, node=a, peer=b, duration=duration, value=value)
+            )
+        return cls(faults)
+
+
+def _parse_fault(token):
+    if "@" not in token:
+        raise ValueError("fault {!r} missing '@<time>'".format(token))
+    head, timing = token.rsplit("@", 1)
+    try:
+        if "+" in timing:
+            at_text, dur_text = timing.split("+", 1)
+            at, duration = float(at_text), float(dur_text)
+        else:
+            at, duration = float(timing), 0.0
+    except ValueError:
+        raise ValueError(
+            "bad timing {!r} in {!r}; expected '@<at>' or '@<at>+<dur>'".format(
+                timing, token
+            )
+        ) from None
+    parts = head.split(":")
+    kind = _ALIASES.get(parts[0], parts[0])
+    if kind not in KINDS:
+        raise ValueError("unknown fault kind {!r} in {!r}".format(parts[0], token))
+
+    if kind == "crash_node":
+        _expect(parts, 2, token)
+        failover = duration if duration else 0.5
+        return Fault(kind, at=at, node=parts[1], failover=failover)
+    if kind == "stall":
+        _expect(parts, 2, token)
+        return Fault(kind, at=at, node=parts[1], duration=duration)
+    if kind == "crash_migration":
+        phase = parts[1] if len(parts) > 1 else None
+        if phase is not None and phase not in PHASES:
+            raise ValueError("unknown phase {!r} in {!r}".format(phase, token))
+        return Fault(kind, at=at, phase=phase)
+    if kind == "partition":
+        _expect(parts, 2, token)
+        a, b = _parse_link(parts[1], token)
+        return Fault(kind, at=at, node=a, peer=b, duration=duration)
+    # loss / latency carry a numeric value after the link.
+    _expect(parts, 3, token)
+    a, b = _parse_link(parts[1], token)
+    return Fault(kind, at=at, node=a, peer=b, duration=duration, value=float(parts[2]))
+
+
+def _parse_link(text, token):
+    if "|" not in text:
+        raise ValueError("fault {!r} needs a '<a>|<b>' link".format(token))
+    a, b = text.split("|", 1)
+    return a, b
+
+
+def _expect(parts, count, token):
+    if len(parts) != count:
+        raise ValueError("malformed fault {!r}".format(token))

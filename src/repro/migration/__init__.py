@@ -19,7 +19,9 @@ The paper's contribution and every baseline it evaluates against:
 - :mod:`repro.migration.stop_and_copy` — the Greenplum/Redshift-style
   read-only redistribution (used in ablations, §6);
 - :mod:`repro.migration.recovery` — crash recovery of in-flight migrations
-  (§3.7).
+  (§3.7);
+- :mod:`repro.migration.supervisor` — self-healing plan execution: watchdog,
+  crash recovery, bounded retries, graceful degradation (chaos harness).
 """
 
 from repro.migration.base import MigrationPlan, MigrationStats, run_plan
@@ -28,6 +30,11 @@ from repro.migration.recovery import crash_migration, recover_migration
 from repro.migration.remus import RemusMigration
 from repro.migration.squall import SquallMigration
 from repro.migration.stop_and_copy import StopAndCopyMigration
+from repro.migration.supervisor import (
+    MigrationSupervisor,
+    SupervisorConfig,
+    run_supervised_plan,
+)
 from repro.migration.wait_and_remaster import WaitAndRemasterMigration
 
 APPROACHES = {
@@ -43,11 +50,14 @@ __all__ = [
     "LockAndAbortMigration",
     "MigrationPlan",
     "MigrationStats",
+    "MigrationSupervisor",
     "RemusMigration",
     "SquallMigration",
     "StopAndCopyMigration",
+    "SupervisorConfig",
     "WaitAndRemasterMigration",
     "crash_migration",
     "recover_migration",
     "run_plan",
+    "run_supervised_plan",
 ]

@@ -19,9 +19,16 @@ class MigrationStats:
         self.sync_wait_total = 0.0  # total added latency (Table 3 numerator)
         self.chunks_pulled = 0  # Squall
         self.tm_commit_ts = None
+        # Supervisor bookkeeping (chaos runs): crash/recovery outcomes.
+        self.crash_recoveries = 0  # crash_migration + recover_migration runs
+        self.migration_retries = 0  # rolled-back batches retried
+        self.batches_skipped = 0  # batches degraded after exhausted retries
+        self.on_phase = None  # optional callback(name) at phase entry
 
     def phase_start(self, sim, name):
         self.phase_times[name] = (sim.now, None)
+        if self.on_phase is not None:
+            self.on_phase(name)
 
     def phase_end(self, sim, name):
         start, _ = self.phase_times.get(name, (sim.now, None))
@@ -51,6 +58,9 @@ class MigrationStats:
         self.sync_waits += other.sync_waits
         self.sync_wait_total += other.sync_wait_total
         self.chunks_pulled += other.chunks_pulled
+        self.crash_recoveries += other.crash_recoveries
+        self.migration_retries += other.migration_retries
+        self.batches_skipped += other.batches_skipped
 
 
 class BaseMigration:
@@ -71,6 +81,7 @@ class BaseMigration:
         self.dest = dest
         self.catchup_threshold = catchup_threshold
         self.stats = MigrationStats()
+        self._tm_txn = None  # in-flight T_m handle for 2PC crash recovery
         for shard_id in self.shard_ids:
             if cluster.shard_owner(shard_id) != source:
                 raise ValueError(
@@ -95,13 +106,19 @@ class BaseMigration:
     def update_shard_map(self, label="tm"):
         """Generator: run T_m — the distributed transaction that updates the
         shard map row for every migrating shard on every node, committed with
-        2PC (§3.5.1). Returns T_m's commit timestamp."""
+        2PC (§3.5.1). Returns T_m's commit timestamp.
+
+        The transaction handle is stashed on the migration (``_tm_txn``) so
+        that crash recovery (§3.7) can resolve an in-doubt T_m with standard
+        2PC recovery if the migration machinery dies mid-flight.
+        """
         session = self.cluster.session(self.source)
         txn = yield from session.begin(label="__{}__".format(label), internal=True)
+        self._tm_txn = txn
         for node_id in self.cluster.node_ids():
             node = self.cluster.nodes[node_id]
             if node_id != self.source:
-                yield self.cluster.network.send(self.source, node_id, 256)
+                yield from self.cluster.rpc_send(self.source, node_id, 256)
             for shard_id in self.shard_ids:
                 yield from node.manager.update(
                     txn, SHARDMAP_SHARD, shard_id, self.dest, size=64
@@ -113,10 +130,12 @@ class BaseMigration:
         return commit_ts
 
     def broadcast_cache_refresh(self, commit_ts):
-        """Generator: push the new owner into every coordinator cache."""
-        yield self.cluster.network.broadcast(
-            self.source, self.cluster.node_ids(), 128
-        )
+        """Generator: push the new owner into every coordinator cache.
+
+        Persistent delivery: T_m has committed, so the new ownership is a
+        decided fact — like a 2PC decision it is retransmitted until every
+        node hears it rather than ever being given up."""
+        yield from self.cluster.rpc_broadcast(self.source, 128, persistent=True)
         for shard_id in self.shard_ids:
             self.cluster.refresh_caches(shard_id, self.dest, commit_ts)
 

@@ -92,7 +92,7 @@ class LockAndAbortMigration(IscMigration):
         # Replay the remaining final updates before handing over ownership.
         yield self.propagation.wait_applied_through(self.source_node.wal.tail_lsn)
 
-        yield self.cluster.network.broadcast(self.source, self.cluster.node_ids(), 64)
+        yield from self.cluster.rpc_broadcast(self.source, 64)
         self.cluster.set_cache_read_through(self.shard_ids)
         tm_cts = yield from self.update_shard_map()
         yield from self.broadcast_cache_refresh(tm_cts)

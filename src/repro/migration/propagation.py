@@ -27,7 +27,7 @@ order", §3.6).
 from repro.sim.errors import Interrupt
 from repro.sim.resources import Resource
 from repro.storage.wal import WalRecordKind
-from repro.txn.errors import SerializationFailure, TransactionError
+from repro.txn.errors import RpcAbort, SerializationFailure, TransactionError
 from repro.txn.transaction import Transaction, TxnState
 
 _PUMP_BATCH = 64  # WAL records scanned per source-CPU charge
@@ -78,6 +78,10 @@ class Propagation:
         self.records_seen = 0
         self.pending_records = 0  # records in caches/in-flight (bookkeeping)
         self.unreplayed_records = 0  # committed records not yet applied
+        # Set when a transfer exhausted its RPC retry budget (partitioned /
+        # lossy destination): the pipeline can no longer guarantee delivery
+        # and the migration needs supervised crash recovery (§3.7).
+        self.wounded = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -226,7 +230,7 @@ class Propagation:
         if xid in self._validated:
             shadow, entry = self._validated.pop(xid)
             self._spawn_task(
-                self._commit_prepared_shadow(shadow, entry, commit_ts),
+                self._commit_prepared_shadow(xid, shadow, entry, commit_ts),
                 name="shadow-commit",
             )
             return
@@ -248,7 +252,8 @@ class Propagation:
         if xid in self._validated:
             shadow, entry = self._validated.pop(xid)
             self._spawn_task(
-                self._rollback_prepared_shadow(shadow, entry), name="shadow-rollback"
+                self._rollback_prepared_shadow(xid, shadow, entry),
+                name="shadow-rollback",
             )
         self._check_applied_waiters()
 
@@ -275,12 +280,18 @@ class Propagation:
         self._check_applied_waiters()
 
     def _transfer_cost(self, records):
-        """Generator: network + (possibly spilled) reload cost of shipping."""
+        """Generator: network + (possibly spilled) reload cost of shipping.
+
+        Shipping goes through the bounded RPC helper: a partitioned or lossy
+        destination causes timed-out retransmits and finally an
+        :class:`~repro.txn.errors.RpcAbort`, which wounds the pipeline
+        instead of hanging it.
+        """
         total_bytes = _MSG_OVERHEAD + sum(r.size for r in records)
         if len(records) > self.costs.spill_threshold:
             batches = len(records) // 1000 + 1
             yield batches * self.costs.spill_reload_per_batch
-        yield self.cluster.network.send(self.source, self.dest, total_bytes)
+        yield from self.cluster.rpc_send(self.source, self.dest, total_bytes)
         self.stats.records_propagated += len(records)
 
     def _make_shadow(self, start_ts, label="__shadow__"):
@@ -349,6 +360,15 @@ class Propagation:
                 yield from self.dest_node.manager.local_abort(shadow)
                 shadow.state = TxnState.ABORTED
                 self.cluster.finish_txn(shadow, committed=False)
+        except RpcAbort as exc:
+            # Destination unreachable after bounded retries: wound the
+            # pipeline — the supervisor crashes and recovers the migration,
+            # whose repair pass re-copies the changes this task dropped.
+            self.wounded = exc
+            if shadow is not None and not shadow.finished:
+                yield from self.dest_node.manager.local_abort(shadow)
+                shadow.state = TxnState.ABORTED
+                self.cluster.finish_txn(shadow, committed=False)
         except TransactionError as exc:  # pragma: no cover - consistency bug
             raise AssertionError(
                 "async replay must never conflict: {!r}".format(exc)
@@ -387,10 +407,13 @@ class Propagation:
             yield from self._transfer_cost(records)
             yield from self._replay_records(shadow, records)
             yield from self.dest_node.manager.local_prepare(shadow)
-        except Interrupt:
-            # Migration torn down mid-validation: abort the shadow, release
-            # everything, and fail the waiting source transaction (it is
-            # terminated by the crash handler, §3.7).
+        except (Interrupt, RpcAbort) as exc:
+            # Migration torn down mid-validation (or the destination became
+            # unreachable): abort the shadow, release everything, and fail
+            # the waiting source transaction (it is terminated by the crash
+            # handler, §3.7).
+            if isinstance(exc, RpcAbort):
+                self.wounded = exc
             if shadow is not None and not shadow.finished:
                 yield from self.dest_node.manager.local_abort(shadow)
                 shadow.state = TxnState.ABORTED
@@ -412,8 +435,7 @@ class Propagation:
             self.pending_records -= len(records)
             self.unreplayed_records -= len(records)
             self._finish_task(entry, done)
-            yield self.cluster.network.send(self.dest, self.source, 64)
-            mocc.post_result(xid, ok=False)
+            yield from self._post_ack(mocc, xid, ok=False)
             return
         self._slots.release()
         self.pending_records -= len(records)
@@ -424,21 +446,45 @@ class Propagation:
             self._inflight.remove(entry)
         self._check_applied_waiters()
         self._validated[xid] = (shadow, (entry, done))
-        yield self.cluster.network.send(self.dest, self.source, 64)
-        mocc.post_result(xid, ok=True)
+        yield from self._post_ack(mocc, xid, ok=True)
 
-    def _commit_prepared_shadow(self, shadow, entry_done, commit_ts):
+    def _post_ack(self, mocc, xid, ok):
+        """Generator: deliver a validation outcome to the blocked source
+        transaction. The ack is retransmitted until it arrives — a source
+        transaction waiting on a lost ack would otherwise never wake. A crash
+        teardown interrupt simply stops the retransmits: the crash handler
+        fails the waiter itself (§3.7)."""
+        try:
+            yield from self.cluster.rpc_send(self.dest, self.source, 64, persistent=True)
+        except Interrupt:
+            return
+        mocc.post_result(xid, ok=ok)
+
+    def _commit_prepared_shadow(self, xid, shadow, entry_done, commit_ts):
         entry, done = entry_done
-        yield self.cluster.network.send(self.source, self.dest, 64)
+        try:
+            # Decision delivery is persistent: the source outcome is final,
+            # so it must reach the destination across any partition.
+            yield from self.cluster.rpc_send(self.source, self.dest, 64, persistent=True)
+        except Interrupt:
+            # Crash teardown mid-delivery: re-register the prepared shadow so
+            # recovery (§3.7) finds it in the residue and resolves it by the
+            # source CLOG outcome — never an orphaned PREPARED entry.
+            self._validated[xid] = (shadow, entry_done)
+            return
         yield from self.dest_node.manager.local_commit(shadow, commit_ts)
         shadow.commit_ts = commit_ts
         shadow.state = TxnState.COMMITTED
         self.cluster.finish_txn(shadow, committed=True)
         self._finish_task(entry, done)
 
-    def _rollback_prepared_shadow(self, shadow, entry_done):
+    def _rollback_prepared_shadow(self, xid, shadow, entry_done):
         entry, done = entry_done
-        yield self.cluster.network.send(self.source, self.dest, 64)
+        try:
+            yield from self.cluster.rpc_send(self.source, self.dest, 64, persistent=True)
+        except Interrupt:
+            self._validated[xid] = (shadow, entry_done)
+            return
         yield from self.dest_node.manager.local_abort(shadow)
         shadow.state = TxnState.ABORTED
         self.cluster.finish_txn(shadow, committed=False)

@@ -20,6 +20,7 @@ the paper describes:
 from repro.storage.clog import TxnStatus
 from repro.storage.snapshot import Snapshot
 from repro.txn.errors import MigrationAbort
+from repro.txn.transaction import TxnState
 
 
 def crash_migration(migration):
@@ -29,7 +30,7 @@ def crash_migration(migration):
     transactions blocked in their validation stage. Returns the residual
     prepared shadows for recovery to resolve.
     """
-    propagation = migration.propagation
+    propagation = getattr(migration, "propagation", None)
     if propagation is not None:
         propagation.stop(kill_tasks=True)
     for task in getattr(migration, "copy_tasks", []):
@@ -48,6 +49,28 @@ def crash_migration(migration):
         residual = dict(propagation._validated)
         propagation._validated.clear()
     return residual
+
+
+def _resolve_tm(cluster, migration, tm_txn, tm_committed):
+    """Generator: drive an in-doubt T_m to its 2PC outcome.
+
+    The migration process owning T_m died mid-commit; its spawned per-node
+    prepare/commit workers may still be in flight. Participant resolution is
+    idempotent (redelivered 2PC decisions are no-ops), so recovery simply
+    applies the decided outcome everywhere and retires the handle.
+    """
+    for participant in list(tm_txn.participants.values()):
+        node = cluster.nodes[participant.node_id]
+        if participant.node_id != tm_txn.coordinator_node:
+            yield from cluster.rpc_send(
+                tm_txn.coordinator_node, participant.node_id, 64, persistent=True
+            )
+        if tm_committed:
+            yield from node.manager.local_commit(tm_txn, tm_txn.commit_ts)
+        else:
+            yield from node.manager.local_abort(tm_txn)
+    tm_txn.state = TxnState.COMMITTED if tm_committed else TxnState.ABORTED
+    cluster.finish_txn(tm_txn, committed=tm_committed)
 
 
 def recover_migration(cluster, migration, residual_shadows=None):
@@ -71,14 +94,26 @@ def recover_migration(cluster, migration, residual_shadows=None):
         source_status = source_node.clog.status(source_xid)
         if source_status is TxnStatus.COMMITTED:
             commit_ts = source_node.clog.commit_ts(source_xid)
-            yield cluster.network.send(dest_node.node_id, source_node.node_id, 64)
+            yield from cluster.rpc_send(
+                dest_node.node_id, source_node.node_id, 64, persistent=True
+            )
             yield from dest_node.manager.local_commit(shadow, commit_ts)
         else:
             yield from dest_node.manager.local_abort(shadow)
         cluster.active_txns.pop(shadow.tid, None)
 
-    # Step 2: resolve T_m (2PC recovery).
-    tm_committed = migration.stats.tm_commit_ts is not None
+    # Step 2: resolve T_m (2PC recovery). T_m committed iff it entered its
+    # second phase, i.e. a commit timestamp was assigned — the assignment may
+    # have happened just before the crash, so the in-flight handle is
+    # authoritative even when the migration never recorded tm_commit_ts.
+    tm_txn = getattr(migration, "_tm_txn", None)
+    tm_committed = migration.stats.tm_commit_ts is not None or (
+        tm_txn is not None and tm_txn.commit_ts is not None
+    )
+    if tm_txn is not None and not tm_txn.finished:
+        yield from _resolve_tm(cluster, migration, tm_txn, tm_committed)
+    if tm_committed and migration.stats.tm_commit_ts is None:
+        migration.stats.tm_commit_ts = tm_txn.commit_ts
     if not tm_committed:
         # No transaction was diverted; drop the partial destination copy.
         migration.cleanup_dest()
@@ -91,6 +126,8 @@ def recover_migration(cluster, migration, residual_shadows=None):
     # Step 3: T_m committed — the destination owns the shards. Continue the
     # migration: repair-copy any committed rows that never made it across,
     # then retire the source copy.
+    for shard_id in migration.shard_ids:
+        cluster.record_ownership(shard_id, migration.dest)
     repair_ts = yield from cluster.oracle.start_timestamp(migration.source)
     snapshot = Snapshot(repair_ts)
     for shard_id in migration.shard_ids:
@@ -105,8 +142,8 @@ def recover_migration(cluster, migration, residual_shadows=None):
             if dest_version is None:
                 missing.append((key, version.value))
         if missing:
-            yield cluster.network.send(
-                migration.source, migration.dest, len(missing) * 64
+            yield from cluster.rpc_send(
+                migration.source, migration.dest, len(missing) * 64, persistent=True
             )
             dest_node.bulk_install(shard_id, missing)
         cluster.refresh_caches(shard_id, migration.dest, migration.stats.tm_commit_ts)

@@ -94,7 +94,9 @@ class RemusMigration(IscMigration):
         stats.phase_start(self.sim, "dual_execution")
         # Guard the window between T_m's commit and cache invalidation:
         # migrating shards route through the shard map table (§3.5.1).
-        yield self.cluster.network.broadcast(self.source, self.cluster.node_ids(), 64)
+        # Bounded: pre-T_m nothing is committed yet, so an unreachable node
+        # fails the migration for the supervisor to recover and retry.
+        yield from self.cluster.rpc_broadcast(self.source, 64)
         if self.use_cache_read_through:
             self.cluster.set_cache_read_through(self.shard_ids)
         tm_cts = yield from self.update_shard_map()

@@ -9,7 +9,9 @@ vacuum horizon at the snapshot timestamp — under heavy updates to few keys
 this is what lets version chains grow (the paper's Figure 10 effect).
 """
 
+from repro.sim.errors import Interrupt
 from repro.storage.snapshot import Snapshot
+from repro.txn.errors import RpcAbort
 
 _BATCH_TUPLES = 256
 
@@ -52,7 +54,9 @@ def copy_shard_snapshot(cluster, shard_id, source, dest, snapshot_ts, stats):
 
 
 def _ship_batch(cluster, batch, source, dest_node, shard_id, tuple_size, costs):
-    yield cluster.network.send(source, dest_node.node_id, len(batch) * tuple_size)
+    # Bounded reliable send: a lossy or partitioned link must fail the copy
+    # (RpcAbort -> supervisor crash recovery), never wedge it forever.
+    yield from cluster.rpc_send(source, dest_node.node_id, len(batch) * tuple_size)
     yield dest_node.cpu.use(costs.snapshot_scan_per_tuple * len(batch))
     dest_node.bulk_install(shard_id, batch)
     return len(batch)
@@ -66,14 +70,30 @@ def copy_group_snapshot(cluster, shard_ids, source, dest, snapshot_ts, stats, ta
     """
     from repro.sim.events import AllOf
 
+    def guarded(shard_id):
+        # Crash injection interrupts copy tasks; that is a modeled teardown,
+        # not a programming error, so finish cleanly with a zero count. An
+        # exhausted RPC budget (unreachable destination) is returned as a
+        # value and re-raised by the parent, so the *migration* fails while
+        # the worker task itself finishes cleanly.
+        try:
+            copied = yield from copy_shard_snapshot(
+                cluster, shard_id, source, dest, snapshot_ts, stats
+            )
+        except Interrupt:
+            return 0
+        except RpcAbort as exc:
+            return exc
+        return copied
+
     tasks = [
-        cluster.spawn(
-            copy_shard_snapshot(cluster, shard_id, source, dest, snapshot_ts, stats),
-            name="snapcopy:{}".format(shard_id),
-        )
+        cluster.spawn(guarded(shard_id), name="snapcopy:{}".format(shard_id))
         for shard_id in shard_ids
     ]
     if task_sink is not None:
         task_sink.extend(tasks)
     counts = yield AllOf(tasks)
+    for count in counts:
+        if isinstance(count, RpcAbort):
+            raise count
     return sum(counts)

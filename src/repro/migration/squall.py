@@ -92,7 +92,7 @@ class SquallMigration(BaseMigration):
         for shard_id in self.shard_ids:
             self.cluster.add_access_hook(shard_id, self)
         # Ownership flips immediately; missing data is pulled on demand.
-        yield self.cluster.network.broadcast(self.source, self.cluster.node_ids(), 64)
+        yield from self.cluster.rpc_broadcast(self.source, 64)
         self.cluster.set_cache_read_through(self.shard_ids)
         tm_cts = yield from self.update_shard_map(label="squall_reconfig")
         self.tm_commit_ts = tm_cts

@@ -25,6 +25,13 @@ from repro.sim.network import Network, NetworkConfig
 from repro.sim.process import Process
 from repro.sim.resources import CpuResource, Resource
 from repro.sim.rng import RngStream, SeedSequence
+from repro.sim.rpc import (
+    RetryPolicy,
+    RpcStats,
+    RpcTimeout,
+    reliable_roundtrip,
+    reliable_send,
+)
 
 __all__ = [
     "AllOf",
@@ -36,9 +43,14 @@ __all__ = [
     "NetworkConfig",
     "Process",
     "Resource",
+    "RetryPolicy",
     "RngStream",
+    "RpcStats",
+    "RpcTimeout",
     "SeedSequence",
     "SimulationError",
     "Simulator",
     "Timeout",
+    "reliable_roundtrip",
+    "reliable_send",
 ]

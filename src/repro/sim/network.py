@@ -1,10 +1,23 @@
-"""A simple point-to-point network model with latency and bandwidth.
+"""A point-to-point network model with latency, bandwidth and link faults.
 
 Messages between distinct simulated nodes take ``base_latency`` plus a
 size-proportional transfer time; messages a node sends to itself are free.
 The model is intentionally simple — migration behaviour in the paper is
 dominated by *protocol waiting* (locks, pulls, 2PC round trips), which this
 captures, rather than by packet-level effects.
+
+For chaos testing every (unordered) node pair carries mutable fault state:
+
+- **partitioned** links never deliver — the arrival event simply never
+  fires, so callers must bound their wait with a timeout (see
+  :mod:`repro.sim.rpc`);
+- **lossy** links drop each message independently with probability ``p``,
+  drawn from the network's seeded RNG stream so runs stay reproducible;
+- **latency spikes** add a fixed extra one-way delay.
+
+Dropped and partitioned messages still count in ``messages_sent`` /
+``bytes_sent`` (the sender did put them on the wire); they are additionally
+tallied in ``messages_dropped``.
 """
 
 from dataclasses import dataclass
@@ -27,6 +40,21 @@ class NetworkConfig:
     jitter: float = 0.0
 
 
+class LinkState:
+    """Mutable fault state of one (unordered) node pair."""
+
+    __slots__ = ("partitioned", "loss", "extra_latency")
+
+    def __init__(self):
+        self.partitioned = False
+        self.loss = 0.0
+        self.extra_latency = 0.0
+
+    @property
+    def faulty(self):
+        return self.partitioned or self.loss > 0.0 or self.extra_latency > 0.0
+
+
 class Network:
     """Delivers messages between named nodes on a shared simulator."""
 
@@ -34,9 +62,54 @@ class Network:
         self.sim = sim
         self.config = config or NetworkConfig()
         self._rng = sim.rng("network")
+        self._links = {}  # frozenset({a, b}) -> LinkState
         self.messages_sent = 0
         self.bytes_sent = 0
+        self.messages_dropped = 0
 
+    # ------------------------------------------------------------------
+    # Link fault state (chaos injection)
+    # ------------------------------------------------------------------
+    def link(self, a, b):
+        """The mutable :class:`LinkState` of the unordered pair ``{a, b}``."""
+        key = frozenset((a, b))
+        if key not in self._links:
+            self._links[key] = LinkState()
+        return self._links[key]
+
+    def partition(self, a, b):
+        """Cut the link between ``a`` and ``b`` (both directions)."""
+        self.link(a, b).partitioned = True
+
+    def heal_partition(self, a, b):
+        self.link(a, b).partitioned = False
+
+    def is_partitioned(self, a, b):
+        if a == b:
+            return False
+        key = frozenset((a, b))
+        state = self._links.get(key)
+        return state is not None and state.partitioned
+
+    def set_loss(self, a, b, p):
+        """Drop messages between ``a`` and ``b`` with probability ``p``."""
+        self.link(a, b).loss = p
+
+    def set_extra_latency(self, a, b, extra):
+        """Add ``extra`` seconds of one-way delay between ``a`` and ``b``."""
+        self.link(a, b).extra_latency = extra
+
+    def clear_link_faults(self):
+        self._links.clear()
+
+    def _link_state(self, src, dst):
+        if src == dst:
+            return None
+        return self._links.get(frozenset((src, dst)))
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
     def delay_for(self, src, dst, size=0):
         """One-way delay in seconds for a ``size``-byte message src -> dst."""
         if src == dst:
@@ -44,25 +117,47 @@ class Network:
         delay = self.config.base_latency + size / self.config.bandwidth
         if self.config.jitter > 0:
             delay += self._rng.uniform(0.0, self.config.jitter)
+        state = self._link_state(src, dst)
+        if state is not None:
+            delay += state.extra_latency
         return delay
 
     def send(self, src, dst, size=0):
-        """Returns an event that succeeds when the message has arrived."""
+        """Returns an event that succeeds when the message has arrived.
+
+        On a partitioned or (probabilistically) lossy link the event never
+        fires — the message is gone; the sender must detect the loss with a
+        timeout and retry (:func:`repro.sim.rpc.reliable_send`).
+        """
         self.messages_sent += 1
         self.bytes_sent += size
         arrived = self.sim.event(name="msg:{}->{}".format(src, dst))
+        state = self._link_state(src, dst)
+        if state is not None and state.partitioned:
+            self.messages_dropped += 1
+            return arrived
+        if state is not None and state.loss > 0.0 and self._rng.random() < state.loss:
+            self.messages_dropped += 1
+            return arrived
         self.sim.schedule(self.delay_for(src, dst, size), arrived.succeed, None)
         return arrived
 
     def roundtrip(self, src, dst, request_size=0, response_size=0):
-        """Returns an event for a request/response pair's total delay."""
+        """Returns an event for a request/response pair's total delay.
+
+        Composed of two :meth:`send` events (request, then response once the
+        request arrived) so that partition, loss and latency faults apply to
+        each direction exactly as they do to plain sends. Message and byte
+        accounting is identical to issuing the two sends directly.
+        """
         done = self.sim.event(name="rpc:{}<->{}".format(src, dst))
-        total = self.delay_for(src, dst, request_size) + self.delay_for(
-            dst, src, response_size
-        )
-        self.messages_sent += 2
-        self.bytes_sent += request_size + response_size
-        self.sim.schedule(total, done.succeed, None)
+
+        def _request_arrived(_event):
+            response = self.send(dst, src, response_size)
+            response.add_callback(lambda _ev: done.succeed(None))
+
+        request = self.send(src, dst, request_size)
+        request.add_callback(_request_arrived)
         return done
 
     def broadcast(self, src, dsts, size=0):

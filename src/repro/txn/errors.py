@@ -42,3 +42,13 @@ class UniqueViolation(TransactionError):
     """Primary-key uniqueness constraint violated by an insert."""
 
     kind = "unique"
+
+
+class RpcAbort(TransactionError):
+    """An RPC to a participant exhausted its retry budget (partition / loss).
+
+    The coordinator aborts the transaction rather than hang; the client's
+    ordinary retry loop re-runs it once the link heals.
+    """
+
+    kind = "rpc_timeout"

@@ -16,9 +16,8 @@ and commit paths. Remus uses this for the sync barrier + MOCC validation wait
 from repro.sim.errors import Interrupt
 from repro.storage.clog import TxnStatus
 from repro.storage.wal import WalRecord, WalRecordKind
-from repro.txn.errors import SerializationFailure, UniqueViolation
+from repro.txn.errors import SerializationFailure, TransactionError, UniqueViolation
 from repro.txn.locks import RowLockTable, SharedExclusiveLockTable
-from repro.txn.transaction import TxnState
 
 
 class MissingRow(KeyError):
@@ -64,6 +63,7 @@ class NodeTxnManager:
         self.active_xids = set()
         self._first_change_lsn = {}  # xid -> LSN of its first change record
         self.extra_flush_latency = 0.0  # synchronous replication round trip
+        self.flush_stall_until = 0.0  # chaos: WAL device stalled until then
 
     # ------------------------------------------------------------------
     # Participant management
@@ -323,8 +323,14 @@ class NodeTxnManager:
     # ------------------------------------------------------------------
     def flush_wal(self):
         """Durable WAL flush; with synchronous replication the commit also
-        waits for the replicas to acknowledge (§3.7)."""
+        waits for the replicas to acknowledge (§3.7).
+
+        A chaos-injected WAL stall (``flush_stall_until``) models a hiccuping
+        storage device: every flush issued before that time blocks until the
+        device recovers."""
         yield self.costs.wal_flush + self.extra_flush_latency
+        while self.sim.now < self.flush_stall_until:
+            yield self.flush_stall_until - self.sim.now
 
     def local_prepare(self, txn):
         """Write + flush the prepare (validation) record; mark PREPARED.
@@ -333,6 +339,13 @@ class NodeTxnManager:
         sync-mode MOCC validation wait happens.
         """
         participant = self.ensure_participant(txn)
+        if self.clog.status(participant.xid) is not TxnStatus.IN_PROGRESS:
+            # The participant was resolved concurrently (e.g. aborted by
+            # crash recovery while this prepare was delayed in flight):
+            # presumed abort — vote no.
+            raise TransactionError(
+                "prepare after resolution", txn_id=txn.tid
+            )
         participant.prepare_lsn = self.wal.append(
             WalRecord(
                 WalRecordKind.PREPARE,
@@ -346,8 +359,14 @@ class NodeTxnManager:
             yield from hook.after_prepare(txn, participant)
 
     def local_commit(self, txn, commit_ts):
-        """Durably commit the local participant and release its locks."""
+        """Durably commit the local participant and release its locks.
+
+        Idempotent under redelivery: 2PC decisions are retransmitted, so the
+        same COMMIT may be applied twice (e.g. by a straggler commit process
+        racing crash recovery)."""
         participant = txn.participant(self.node_id)
+        if self.clog.status(participant.xid) is TxnStatus.COMMITTED:
+            return
         if self.clog.status(participant.xid) is TxnStatus.PREPARED:
             kind = WalRecordKind.COMMIT_PREPARED
         else:
@@ -369,6 +388,8 @@ class NodeTxnManager:
         """
         participant = txn.participant(self.node_id)
         if participant is None:
+            return
+        if self.clog.status(participant.xid) is TxnStatus.ABORTED:
             return
         if self.clog.status(participant.xid) is TxnStatus.PREPARED:
             kind = WalRecordKind.ROLLBACK_PREPARED

@@ -27,3 +27,16 @@ def test_experiment_requires_known_approach():
 def test_missing_command_errors():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_chaos_command_with_explicit_plan(capsys):
+    code = main([
+        "chaos", "--seed", "2",
+        "--fault-plan", "mcrash:snapshot_copy@0.4; partition:node-1|node-2@1.0+0.3",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fault plan:" in out
+    assert "crash_migration" in out
+    assert "invariant violations: 0" in out
+    assert "plan outcome:" in out

@@ -1,7 +1,5 @@
 """Node failure / failover tests (§3.7's fault-tolerance model)."""
 
-import pytest
-
 from repro.cluster import Cluster
 from repro.config import ClusterConfig
 from repro.migration import RemusMigration
@@ -84,6 +82,32 @@ def test_throughput_dips_during_failover_and_recovers():
     after = metrics.average_throughput(label="ycsb", start=2.5, end=4.0)
     assert during < 0.8 * before
     assert after > during
+
+
+def test_fail_node_is_deterministic_across_runs():
+    """Same seed, same failover scenario => bit-identical event timeline.
+
+    Chaos replayability rests on this: a node crash plus failover under a
+    running workload must not introduce any hidden nondeterminism."""
+
+    def run_once():
+        cluster, workload = build()
+        pool = workload.make_clients()
+        pool.start()
+        cluster.run(until=0.5)
+        cluster.fail_node("node-2", failover_time=0.5)
+        cluster.run(until=2.5)
+        pool.stop()
+        cluster.run(until=3.0)
+        return (
+            tuple(cluster.metrics.marks),
+            cluster.network.messages_sent,
+            sorted(cluster.dump_table("ycsb").items()),
+        )
+
+    first = run_once()
+    second = run_once()
+    assert first == second
 
 
 def test_source_failure_mid_migration_then_recovery():

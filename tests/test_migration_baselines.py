@@ -69,7 +69,6 @@ def test_lock_and_abort_kills_active_writer():
     shard = cluster.shards_on_node("node-1", table="ycsb")[0]
     keys = sorted(cluster.nodes["node-1"].heap_for(shard).keys())
     session = cluster.session("node-2")
-    outcome = {}
 
     def long_writer():
         def body(sess, txn):

@@ -1,7 +1,5 @@
 """Crash-recovery tests for in-flight Remus migrations (§3.7)."""
 
-import pytest
-
 from repro.cluster import Cluster
 from repro.config import ClusterConfig
 from repro.migration import RemusMigration
@@ -103,6 +101,54 @@ def test_crash_after_tm_continues_migration():
     assert cluster.shard_owner(shard) == "node-2"
     assert not cluster.nodes["node-1"].has_shard_data(shard)
     assert len(cluster.dump_table("ycsb")) == workload.config.num_tuples
+
+
+def test_crash_after_tm_recovers_under_live_workload():
+    """The "completed" recovery path with the YCSB workload still running
+    *through* the recovery: post-T_m the destination is authoritative, new
+    transactions keep routing there while recovery repairs the copy, and no
+    committed write is lost."""
+    cluster, workload = build()
+    pool = workload.make_clients()
+    pool.start()
+    cluster.run(until=0.5)
+    shard = cluster.shards_on_node("node-1", table="ycsb")[0]
+
+    # A long transaction keeps dual execution open so the crash lands inside.
+    session = cluster.session("node-3")
+
+    def long_txn():
+        txn = yield from session.begin(label="long")
+        keys = sorted(cluster.nodes["node-1"].heap_for(shard).keys())
+        yield from session.read(txn, "ycsb", keys[0])
+        yield 5.0
+        if not txn.finished:
+            yield from session.abort(txn)
+
+    cluster.spawn(long_txn())
+    migration = RemusMigration(cluster, [shard], "node-1", "node-2")
+    proc = cluster.spawn(migration.run(), name="migration")
+    while migration.stats.tm_commit_ts is None and not proc.finished:
+        cluster.run(until=cluster.sim.now + 0.02)
+    assert not proc.finished, "migration finished before we could crash it"
+    proc.interrupt("crash")
+    cluster.run(until=cluster.sim.now + 0.05)
+    residual = crash_migration(migration)
+    # NOTE: the client pool keeps committing during the whole recovery.
+    outcome = recover(cluster, migration, residual)
+    assert outcome == "completed"
+    assert cluster.shard_owner(shard) == "node-2"
+    cluster.run(until=cluster.sim.now + 0.5)
+    pool.stop()
+    cluster.run(until=cluster.sim.now + 1.0)
+    assert len(cluster.dump_table("ycsb")) == workload.config.num_tuples
+    # The deliberately interrupted migration process is the only casualty;
+    # no client or background process may have died.
+    crashes = [
+        (p.name, e) for p, e in cluster.sim.failed_processes
+        if p.name != "migration"
+    ]
+    assert not crashes, crashes
 
 
 def test_residual_prepared_shadow_committed_iff_source_committed():

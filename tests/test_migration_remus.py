@@ -1,7 +1,5 @@
 """Integration tests for Remus migrations under live workloads."""
 
-import pytest
-
 from repro.cluster import Cluster
 from repro.config import ClusterConfig
 from repro.migration import MigrationPlan, RemusMigration, run_plan

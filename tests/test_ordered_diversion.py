@@ -12,7 +12,6 @@ import pytest
 from repro.cluster import Cluster
 from repro.cluster.shardmap import SHARDMAP_SHARD
 from repro.config import ClusterConfig
-from repro.txn.transaction import Transaction
 
 
 @pytest.fixture

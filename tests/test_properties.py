@@ -5,7 +5,6 @@ from hypothesis import strategies as st
 
 from repro.cluster.hashing import (
     HASH_SPACE,
-    HashRange,
     consistent_hash,
     shard_index_for_hash,
     split_hash_space,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import AllOf, AnyOf, Event, Interrupt, SimulationError, Simulator, Timeout
+from repro.sim import AllOf, AnyOf, Interrupt, SimulationError, Simulator, Timeout
 
 
 def test_schedule_runs_in_time_order():

@@ -50,7 +50,6 @@ def test_stock_level_is_read_only(setup):
 
 def test_remote_payment_is_distributed(setup):
     cluster, workload = setup
-    config = workload.config
 
     class ForceRemote:
         def random(self):
@@ -65,7 +64,7 @@ def test_remote_payment_is_distributed(setup):
         def sample(self, population, k):
             return list(population)[:k]
 
-    txn = run_body(
+    run_body(
         cluster, workload, workload.payment_body(ForceRemote(), home=1), label="pay"
     )
     # Home warehouse 1 and remote warehouse share no node at this scale only

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Interrupt, Simulator
+from repro.sim import Simulator
 from repro.txn.locks import RowLockTable, SharedExclusiveLockTable
 from repro.txn.timestamps import DtsOracle, GtsOracle
 from repro.sim.network import Network, NetworkConfig
