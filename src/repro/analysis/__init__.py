@@ -1,0 +1,35 @@
+"""simlint: AST-based determinism & protocol-safety analysis for this repo.
+
+The chaos soak tests assert *bit-identical* event timelines across runs, so
+any hidden nondeterminism — wall-clock reads, unseeded ``random``, iteration
+over hash-ordered containers in protocol paths, raw network sends that hang
+under partitions — silently breaks the reproduction's core guarantee. The
+rules in :mod:`repro.analysis.rules` encode those hazards as static checks;
+:mod:`repro.analysis.engine` runs them over the tree, honouring per-line
+``# simlint: ignore[RULE]`` suppressions and a JSON baseline of accepted
+pre-existing findings.
+
+Entry point: ``repro lint`` (see :mod:`repro.analysis.cli`).
+"""
+
+from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
+from repro.analysis.engine import (
+    LintConfig,
+    analyze_paths,
+    analyze_source,
+    default_config,
+)
+from repro.analysis.rules import RULES
+from repro.analysis.violations import Violation
+
+__all__ = [
+    "LintConfig",
+    "RULES",
+    "Violation",
+    "analyze_paths",
+    "analyze_source",
+    "apply_baseline",
+    "default_config",
+    "load_baseline",
+    "write_baseline",
+]

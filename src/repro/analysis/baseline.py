@@ -1,0 +1,50 @@
+"""Baseline files: accepted pre-existing findings that don't block CI.
+
+A baseline is a JSON document mapping violation fingerprints (rule | path |
+stripped source line) to accepted counts. ``repro lint --baseline FILE``
+subtracts baselined findings from the report, so a legacy tree can turn the
+gate on immediately while *new* violations — including a second copy of a
+baselined one — still fail the build. Regenerate with ``--write-baseline``
+after deliberate changes.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str) -> Counter:
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            "unsupported baseline version {!r} in {}".format(document.get("version"), path)
+        )
+    return Counter(document.get("entries", {}))
+
+
+def write_baseline(violations, path: str) -> None:
+    entries = Counter(v.fingerprint for v in violations)
+    document = {
+        "version": BASELINE_VERSION,
+        "entries": dict(sorted(entries.items())),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def apply_baseline(violations, baseline: Counter):
+    """Split ``violations`` into (new, baselined) against accepted counts."""
+    remaining = Counter(baseline)
+    fresh, accepted = [], []
+    for violation in violations:
+        if remaining[violation.fingerprint] > 0:
+            remaining[violation.fingerprint] -= 1
+            accepted.append(violation)
+        else:
+            fresh.append(violation)
+    return fresh, accepted

@@ -1,0 +1,98 @@
+"""``repro lint`` — the command-line front end of simlint."""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
+from repro.analysis.engine import analyze_paths, default_config
+from repro.analysis.rules import RULES
+
+DEFAULT_PATHS = ("src/repro",)
+
+
+def add_lint_arguments(parser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        dest="fmt",
+        choices=("text", "json"),
+        default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="JSON baseline of accepted findings (see --write-baseline)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="write the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def run_lint(args, stdout=None, stderr=None) -> int:
+    out = stdout or sys.stdout
+    err = stderr or sys.stderr
+
+    if args.list_rules:
+        for code, rule_cls in sorted(RULES.items()):
+            print("{}  {}".format(code, rule_cls.title), file=out)
+        return 0
+
+    config = default_config()
+    violations, errors = analyze_paths(args.paths, config=config)
+    for error in errors:
+        print("error: {}".format(error), file=err)
+
+    if args.write_baseline:
+        write_baseline(violations, args.write_baseline)
+        print(
+            "wrote baseline with {} finding(s) to {}".format(
+                len(violations), args.write_baseline
+            ),
+            file=out,
+        )
+        return 0
+
+    accepted = []
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print("error: cannot load baseline: {}".format(exc), file=err)
+            return 2
+        violations, accepted = apply_baseline(violations, baseline)
+
+    if args.fmt == "json":
+        document = {
+            "violations": [v.to_dict() for v in violations],
+            "baselined": len(accepted),
+            "errors": errors,
+            "ok": not violations and not errors,
+        }
+        print(json.dumps(document, indent=2), file=out)
+    else:
+        for violation in violations:
+            print(violation.render(), file=out)
+        summary = "simlint: {} finding(s)".format(len(violations))
+        if accepted:
+            summary += ", {} baselined".format(len(accepted))
+        if errors:
+            summary += ", {} file error(s)".format(len(errors))
+        print(summary, file=out)
+
+    return 1 if (violations or errors) else 0

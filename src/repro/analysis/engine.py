@@ -1,0 +1,170 @@
+"""simlint engine: scoping, suppression, and the per-file rule driver."""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+
+from repro.analysis.rules import RULES
+from repro.analysis.violations import Violation, sort_key
+
+#: Trailing-comment suppression: ``x = set()  # simlint: ignore[SIM003]``
+#: (several codes may be listed, comma-separated).
+_SUPPRESS_RE = re.compile(r"#\s*simlint:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class RuleScope:
+    """Path scoping for one rule, matched with fnmatch on posix paths.
+
+    ``include`` empty means "everywhere under the linted roots"; ``exclude``
+    always wins. Patterns are matched against the path relative to the lint
+    root with a leading ``*/`` tolerance, so ``*/sim/kernel.py`` matches both
+    ``src/repro/sim/kernel.py`` and a bare ``sim/kernel.py``.
+    """
+
+    include: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = ()
+
+    def matches(self, path: str) -> bool:
+        if self.include and not any(_path_match(path, p) for p in self.include):
+            return False
+        return not any(_path_match(path, p) for p in self.exclude)
+
+
+def _path_match(path: str, pattern: str) -> bool:
+    return fnmatch(path, pattern) or fnmatch("/" + path, pattern.lstrip("*"))
+
+
+@dataclass
+class LintConfig:
+    """Which rules run where, plus the cross-module knowledge they need."""
+
+    scopes: dict[str, RuleScope] = field(default_factory=dict)
+    #: Attribute names known (from other modules) to hold plain sets —
+    #: feeds SIM003's inference across module boundaries.
+    known_set_attrs: frozenset[str] = frozenset()
+    #: Exception type names SIM006 treats as "must not be swallowed".
+    swallowed_exceptions: frozenset[str] = frozenset(
+        {"SimulationError", "SimError", "Interrupt"}
+    )
+
+    def scope_for(self, rule_code: str) -> RuleScope:
+        return self.scopes.get(rule_code, RuleScope())
+
+
+def default_config() -> LintConfig:
+    """The scoping used by ``repro lint`` on this tree.
+
+    - The DES kernel and the RNG module are the *only* places allowed to
+      touch the primitives they encapsulate (virtual time / seeding), so
+      they are exempt from SIM001/SIM002 respectively.
+    - SIM004 applies to protocol code (txn / migration / cluster / faults);
+      the RPC layer itself and the network model legitimately call raw
+      ``send`` and live outside those paths.
+    - The analysis package lints everything but itself.
+    """
+    exempt_self = ("*/analysis/*",)
+    return LintConfig(
+        scopes={
+            "SIM001": RuleScope(exclude=("*/sim/kernel.py",) + exempt_self),
+            "SIM002": RuleScope(exclude=("*/sim/rng.py",) + exempt_self),
+            "SIM003": RuleScope(exclude=exempt_self),
+            "SIM004": RuleScope(
+                include=("*/txn/*", "*/migration/*", "*/cluster/*", "*/faults/*"),
+            ),
+            "SIM005": RuleScope(exclude=exempt_self),
+            "SIM006": RuleScope(exclude=exempt_self),
+        },
+    )
+
+
+class ModuleUnderLint:
+    """Parsed module handed to each rule."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        self.lines = source.splitlines()
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def suppressions(self) -> dict[int, set[str]]:
+        table: dict[int, set[str]] = {}
+        for index, line in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match:
+                codes = {c.strip().upper() for c in match.group(1).split(",") if c.strip()}
+                table[index] = codes
+        return table
+
+
+def analyze_source(source: str, path: str = "<string>", config: LintConfig | None = None):
+    """Run every in-scope rule over one source string."""
+    config = config or default_config()
+    module = ModuleUnderLint(path, source)
+    suppressions = module.suppressions()
+    violations = []
+    for code, rule_cls in sorted(RULES.items()):
+        if not config.scope_for(code).matches(path):
+            continue
+        for node, message in rule_cls(config).check(module):
+            lineno = getattr(node, "lineno", 1)
+            if code in suppressions.get(lineno, ()):
+                continue
+            violations.append(
+                Violation(
+                    rule=code,
+                    path=path,
+                    line=lineno,
+                    col=getattr(node, "col_offset", 0),
+                    message=message,
+                    line_text=module.line_text(lineno),
+                )
+            )
+    return sorted(violations, key=sort_key)
+
+
+def iter_python_files(paths):
+    """Yield .py files under each path (files are yielded as-is), sorted."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames.sort()
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def analyze_paths(paths, config: LintConfig | None = None, root: str | None = None):
+    """Lint every python file under ``paths``; returns sorted violations.
+
+    Paths in the report are relative to ``root`` (default: the current
+    working directory) and posix-style, so baselines are machine-portable.
+    """
+    config = config or default_config()
+    root = root or os.getcwd()
+    violations = []
+    errors = []
+    for filepath in iter_python_files(paths):
+        relpath = os.path.relpath(filepath, root).replace(os.sep, "/")
+        try:
+            with open(filepath, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            errors.append("{}: unreadable: {}".format(relpath, exc))
+            continue
+        try:
+            violations.extend(analyze_source(source, path=relpath, config=config))
+        except SyntaxError as exc:
+            errors.append("{}: syntax error: {}".format(relpath, exc))
+    return sorted(violations, key=sort_key), errors

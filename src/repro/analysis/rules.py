@@ -1,0 +1,400 @@
+"""The simlint rule set.
+
+Each rule is a class with a ``code``, a human ``title`` and a
+``check(module)`` generator yielding ``(node, message)`` pairs. Rules
+register themselves in :data:`RULES` via the :func:`rule` decorator; the
+engine instantiates the registry per file and anchors each hit to the node's
+location.
+
+The rules are *heuristic by design*: they trade completeness for zero
+dependencies and high signal on this codebase's idioms. Anything they get
+wrong can be silenced with ``# simlint: ignore[CODE]`` on the offending line
+or accepted wholesale in the baseline file.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+RULES: dict[str, type] = {}
+
+
+def rule(cls: type) -> type:
+    RULES[cls.code] = cls
+    return cls
+
+
+class Rule:
+    """Base class; subclasses yield (ast.AST, message) findings."""
+
+    code = ""
+    title = ""
+
+    def __init__(self, config) -> None:
+        self.config = config
+
+    def check(self, module) -> Iterator[tuple[ast.AST, str]]:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Helpers shared between rules
+# ----------------------------------------------------------------------
+_WALLCLOCK_TIME_ATTRS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "localtime",
+        "gmtime",
+    }
+)
+_WALLCLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+
+def _terminal_name(node: ast.AST) -> str | None:
+    """The last identifier of a Name / dotted Attribute chain."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_set_maker(node: ast.AST) -> bool:
+    """Literal / constructor expressions that produce a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _walk_functions(tree: ast.AST) -> Iterator[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+# ----------------------------------------------------------------------
+@rule
+class WallClockRule(Rule):
+    """SIM001 — wall-clock access inside the simulated world.
+
+    Virtual time is ``sim.now``; reading the host clock makes runs
+    unreproducible and couples results to machine speed.
+    """
+
+    code = "SIM001"
+    title = "wall-clock access"
+
+    def check(self, module):
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute):
+                base = node.value
+                if isinstance(base, ast.Name):
+                    if base.id == "time" and node.attr in _WALLCLOCK_TIME_ATTRS:
+                        yield node, (
+                            "wall-clock read time.{}(); use the simulator's "
+                            "virtual clock (sim.now)".format(node.attr)
+                        )
+                    elif (
+                        base.id in ("datetime", "date")
+                        and node.attr in _WALLCLOCK_DATETIME_ATTRS
+                    ):
+                        yield node, (
+                            "wall-clock read {}.{}(); use the simulator's "
+                            "virtual clock (sim.now)".format(base.id, node.attr)
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _WALLCLOCK_TIME_ATTRS:
+                            yield node, (
+                                "importing wall-clock primitive time.{}; use "
+                                "the simulator's virtual clock".format(alias.name)
+                            )
+
+
+# ----------------------------------------------------------------------
+@rule
+class UnseededRandomRule(Rule):
+    """SIM002 — the global ``random`` module instead of seeded streams.
+
+    Every component must draw from ``sim.rng(label)`` (a
+    :class:`repro.sim.rng.RngStream`): streams are independent per label, so
+    adding a component never perturbs existing runs with the same seed.
+    """
+
+    code = "SIM002"
+    title = "unseeded random"
+
+    def check(self, module):
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield node, (
+                            "import of the global random module; draw from a "
+                            "seeded repro.sim.rng stream (sim.rng(label))"
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield node, (
+                        "import from the global random module; draw from a "
+                        "seeded repro.sim.rng stream (sim.rng(label))"
+                    )
+            elif isinstance(node, ast.Attribute):
+                if isinstance(node.value, ast.Name) and node.value.id == "random":
+                    yield node, (
+                        "use of random.{}; draw from a seeded repro.sim.rng "
+                        "stream instead".format(node.attr)
+                    )
+
+
+# ----------------------------------------------------------------------
+@rule
+class UnorderedIterationRule(Rule):
+    """SIM003 — iteration over a hash-ordered set in protocol code.
+
+    String (and tuple-of-string) hashing is randomized per process
+    (PYTHONHASHSEED), so ``for x in some_set`` visits elements in a
+    process-dependent order: lock releases, replay chaining and event waits
+    issued from such a loop reorder the timeline. Iterate ``sorted(...)`` or
+    use an insertion-ordered container (:class:`repro.sim.ordered.OrderedSet`).
+
+    Detection is type-inference-lite: an expression is set-typed if it is a
+    set literal / comprehension / ``set()``-``frozenset()`` call, a local or
+    module name assigned from one, a ``self.X`` attribute assigned from one
+    anywhere in the same module, or an attribute named in the config's
+    ``known_set_attrs`` (cross-module knowledge). ``sorted()`` around the
+    iterable makes it safe; ``list()`` / ``tuple()`` / ``iter()`` /
+    ``enumerate()`` / ``reversed()`` do not impose an order and are looked
+    through.
+    """
+
+    code = "SIM003"
+    title = "unordered iteration"
+
+    _TRANSPARENT = ("list", "tuple", "iter", "enumerate", "reversed")
+    _ORDERING = ("sorted", "min", "max", "sum", "len", "any", "all")
+
+    def check(self, module):
+        self_attrs = self._collect_self_set_attrs(module.tree)
+        module_names = self._collect_scope_sets(module.tree, toplevel=True)
+        # Module-level iterations
+        yield from self._check_scope(module.tree, module_names, self_attrs, toplevel=True)
+        for func in _walk_functions(module.tree):
+            local_names = set(module_names)
+            local_names |= self._collect_scope_sets(func, toplevel=False)
+            yield from self._check_scope(func, local_names, self_attrs, toplevel=False)
+
+    # -- inference ------------------------------------------------------
+    def _collect_self_set_attrs(self, tree) -> set[str]:
+        attrs = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and _is_set_maker(node.value):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        attrs.add(target.attr)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if _is_set_maker(node.value) and isinstance(node.target, ast.Attribute):
+                    if (
+                        isinstance(node.target.value, ast.Name)
+                        and node.target.value.id == "self"
+                    ):
+                        attrs.add(node.target.attr)
+        return attrs
+
+    def _collect_scope_sets(self, scope, toplevel: bool) -> set[str]:
+        names = set()
+        for node in self._scope_walk(scope, toplevel):
+            value = None
+            if isinstance(node, ast.Assign):
+                value = node.value
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign):
+                value = node.value
+                targets = [node.target]
+            else:
+                continue
+            if value is not None and _is_set_maker(value):
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names
+
+    def _scope_walk(self, scope, toplevel: bool):
+        """Walk ``scope`` without descending into nested function scopes."""
+        stack = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if toplevel and isinstance(node, ast.ClassDef):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    # -- detection ------------------------------------------------------
+    def _check_scope(self, scope, names, self_attrs, toplevel: bool):
+        for node in self._scope_walk(scope, toplevel):
+            iters = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for candidate in iters:
+                reason = self._unordered_reason(candidate, names, self_attrs)
+                if reason:
+                    yield candidate, (
+                        "iteration over {} is hash-ordered and process-"
+                        "dependent; wrap in sorted() or use an insertion-"
+                        "ordered container (repro.sim.ordered.OrderedSet)".format(reason)
+                    )
+
+    def _unordered_reason(self, expr, names, self_attrs) -> str | None:
+        # Look through order-preserving / order-free wrappers.
+        while isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+            if expr.func.id in self._ORDERING:
+                return None
+            if expr.func.id in self._TRANSPARENT and expr.args:
+                expr = expr.args[0]
+                continue
+            break
+        if _is_set_maker(expr):
+            return "a set expression"
+        if isinstance(expr, ast.Name) and expr.id in names:
+            return "set {!r}".format(expr.id)
+        if isinstance(expr, ast.Attribute):
+            if expr.attr in self_attrs or expr.attr in self.config.known_set_attrs:
+                return "set attribute {!r}".format(expr.attr)
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitOr, ast.BitAnd, ast.Sub)
+        ):
+            return self._unordered_reason(
+                expr.left, names, self_attrs
+            ) or self._unordered_reason(expr.right, names, self_attrs)
+        return None
+
+
+# ----------------------------------------------------------------------
+@rule
+class RawNetworkSendRule(Rule):
+    """SIM004 — raw ``Network.send``/``broadcast`` in protocol code.
+
+    A raw send's arrival event *never fires* on a partitioned or lossy link,
+    so any protocol step waiting on one hangs forever under chaos. Protocol
+    code must route hops through the reliable-RPC layer
+    (``cluster.rpc_send`` / ``repro.sim.rpc.reliable_send``), which bounds
+    the wait with timeout + retry.
+    """
+
+    code = "SIM004"
+    title = "raw network send"
+
+    def check(self, module):
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            if node.func.attr not in ("send", "broadcast"):
+                continue
+            receiver = _terminal_name(node.func.value)
+            if receiver is None:
+                continue
+            if receiver == "net" or "network" in receiver.lower():
+                yield node, (
+                    "raw {}.{}() in protocol code hangs forever under "
+                    "partitions; use the reliable RPC wrappers "
+                    "(cluster.rpc_send / repro.sim.rpc)".format(receiver, node.func.attr)
+                )
+
+
+# ----------------------------------------------------------------------
+@rule
+class IdOrderingRule(Rule):
+    """SIM005 — ``id()`` used for ordering or keying.
+
+    CPython object ids are allocation addresses: they differ between runs
+    and platforms, so sorting or keying by ``id()`` injects allocator state
+    into the timeline. Key by a stable field (tid, xid, shard id) instead.
+    """
+
+    code = "SIM005"
+    title = "id()-based ordering"
+
+    def check(self, module):
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "id"
+            ):
+                yield node, (
+                    "id() is allocation-dependent and varies across runs; "
+                    "order/key by a stable identifier instead"
+                )
+
+
+# ----------------------------------------------------------------------
+@rule
+class SwallowedErrorRule(Rule):
+    """SIM006 — bare ``except:`` or silently swallowed simulation errors.
+
+    A bare except hides kernel bugs (including SystemExit/KeyboardInterrupt);
+    an ``except SimulationError: pass`` in a fault-handling path turns an
+    invariant violation into silent divergence. Handle the specific error or
+    let it crash the run loudly.
+    """
+
+    code = "SIM006"
+    title = "swallowed error"
+
+    def check(self, module):
+        swallowed = self.config.swallowed_exceptions
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield node, (
+                    "bare except: hides simulation bugs (and SystemExit); "
+                    "catch the specific exception"
+                )
+                continue
+            if self._names_swallowed_type(node.type, swallowed) and self._body_is_noop(
+                node.body
+            ):
+                yield node, (
+                    "simulation error caught and discarded; handle it or let "
+                    "it fail the run loudly"
+                )
+
+    def _names_swallowed_type(self, type_node, swallowed) -> bool:
+        candidates: Iterable[ast.AST]
+        if isinstance(type_node, ast.Tuple):
+            candidates = type_node.elts
+        else:
+            candidates = [type_node]
+        for candidate in candidates:
+            name = _terminal_name(candidate)
+            if name in swallowed:
+                return True
+        return False
+
+    def _body_is_noop(self, body) -> bool:
+        for stmt in body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+                continue  # docstring or ...
+            return False
+        return True

@@ -8,6 +8,7 @@ Examples::
     python -m repro experiment high_contention
     python -m repro chaos --seed 3
     python -m repro chaos --fault-plan "crash:node-2@1.0; partition:node-1|node-3@2.0+0.5"
+    python -m repro lint --format json
 """
 
 import argparse
@@ -152,6 +153,14 @@ def main(argv=None):
         help="approximate number of random faults (ignored with --fault-plan)",
     )
 
+    lint = sub.add_parser(
+        "lint",
+        help="simlint: determinism & protocol-safety static analysis",
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+
     args = parser.parse_args(argv)
     if args.command == "list":
         from repro.migration import APPROACHES
@@ -165,6 +174,10 @@ def main(argv=None):
         return 0
     if args.command == "chaos":
         return _run_chaos(args)
+    if args.command == "lint":
+        from repro.analysis.cli import run_lint
+
+        return run_lint(args)
     return 1
 
 

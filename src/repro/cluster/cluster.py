@@ -393,7 +393,7 @@ class Cluster:
             owner = self.shard_owners[shard_id]
             node = self.nodes[owner]
             heap = node.heap_for(shard_id)
-            for key in heap.keys():
+            for key in list(heap.keys()):
                 version = heap.latest_committed_or_locked(key)
                 if version is None:
                     continue

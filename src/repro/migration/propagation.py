@@ -25,6 +25,7 @@ order", §3.6).
 """
 
 from repro.sim.errors import Interrupt
+from repro.sim.ordered import OrderedSet
 from repro.sim.resources import Resource
 from repro.storage.wal import WalRecordKind
 from repro.txn.errors import RpcAbort, SerializationFailure, TransactionError
@@ -63,14 +64,16 @@ class Propagation:
         self.mocc = None  # set by enable_sync(); None => async mode
         self._caches = {}  # source xid -> [change records]
         self._validated = {}  # source xid -> (shadow txn, inflight entry)
-        self.validation_started = set()  # xids whose PREPARE spawned a task
+        self.validation_started = OrderedSet()  # xids whose PREPARE spawned a task
         self._inflight = []  # _InflightApply entries still replaying
         self._key_tail = {}  # (shard, key) -> done event of last writer
         self._slots = Resource(
             self.sim, capacity=cluster.config.replay_parallelism, name="replay"
         )
         self._applied_waiters = []  # (target_lsn, event)
-        self._tasks = set()  # in-flight replay/resolution processes
+        # Insertion-ordered: a crash teardown interrupts these in spawn
+        # order, keeping the teardown timeline deterministic (SIM003).
+        self._tasks = OrderedSet()  # in-flight replay/resolution processes
         self._shadows = []  # every shadow txn created by this pipeline
         self._pump_process = None
         self._apply_gate = None  # armed while the snapshot copy is running
@@ -261,8 +264,13 @@ class Propagation:
     # Replay task scheduling (commit-order chaining per key)
     # ------------------------------------------------------------------
     def _register_task(self, records):
-        keys = {(r.shard_id, r.key) for r in records}
-        predecessors = {self._key_tail[k] for k in keys if k in self._key_tail}
+        # Deduplicate in record order (dict preserves insertion order): the
+        # predecessor-wait and key-tail bookkeeping below must run in a
+        # process-independent order, and set iteration is hash-ordered.
+        keys = list(dict.fromkeys((r.shard_id, r.key) for r in records))
+        predecessors = list(
+            dict.fromkeys(self._key_tail[k] for k in keys if k in self._key_tail)
+        )
         done = self.sim.event(name="apply-done")
         for key in keys:
             self._key_tail[key] = done

@@ -196,7 +196,7 @@ class SquallMigration(BaseMigration):
             size = sum(
                 self.cluster.tables[shard_id.table].tuple_size for _ in moved
             )
-            yield self.cluster.network.send(self.source, self.dest, size)
+            yield from self.cluster.rpc_send(self.source, self.dest, size)
             self.dest_node.bulk_install(shard_id, moved)
             for key, _value in moved:
                 for version in list(heap.chain(key)):

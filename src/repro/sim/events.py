@@ -1,6 +1,13 @@
 """Waitable primitives: events, timeouts and composite waits."""
 
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
 from repro.sim.errors import SimulationError
+
+if TYPE_CHECKING:
+    from repro.sim.kernel import Simulator
 
 
 class Event:
@@ -13,47 +20,47 @@ class Event:
 
     __slots__ = ("sim", "name", "_callbacks", "_done", "_value", "_exception")
 
-    def __init__(self, sim, name=""):
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.name = name
-        self._callbacks = []
+        self._callbacks: list[Callable[["Event"], object]] = []
         self._done = False
-        self._value = None
-        self._exception = None
+        self._value: Any = None
+        self._exception: BaseException | None = None
 
     @property
-    def triggered(self):
+    def triggered(self) -> bool:
         """True once the event has been completed (succeeded or failed)."""
         return self._done
 
     @property
-    def ok(self):
+    def ok(self) -> bool:
         """True if the event completed via :meth:`succeed`."""
         return self._done and self._exception is None
 
     @property
-    def value(self):
+    def value(self) -> Any:
         if not self._done:
             raise SimulationError("event {!r} has not been triggered".format(self.name))
         return self._value
 
     @property
-    def exception(self):
+    def exception(self) -> BaseException | None:
         return self._exception
 
-    def succeed(self, value=None):
+    def succeed(self, value: Any = None) -> "Event":
         """Complete the event, waking every waiter with ``value``."""
         self._complete(value=value, exception=None)
         return self
 
-    def fail(self, exception):
+    def fail(self, exception: BaseException) -> "Event":
         """Complete the event, throwing ``exception`` into every waiter."""
         if not isinstance(exception, BaseException):
             raise SimulationError("fail() requires an exception instance")
         self._complete(value=None, exception=exception)
         return self
 
-    def _complete(self, value, exception):
+    def _complete(self, value: Any, exception: BaseException | None) -> None:
         if self._done:
             raise SimulationError("event {!r} triggered twice".format(self.name))
         self._done = True
@@ -63,18 +70,18 @@ class Event:
         for callback in callbacks:
             self.sim.schedule(0.0, callback, self)
 
-    def add_callback(self, callback):
+    def add_callback(self, callback: Callable[["Event"], object]) -> None:
         """Register ``callback(event)``; fires immediately if already done."""
         if self._done:
             self.sim.schedule(0.0, callback, self)
         else:
             self._callbacks.append(callback)
 
-    def remove_callback(self, callback):
+    def remove_callback(self, callback: Callable[["Event"], object]) -> None:
         if callback in self._callbacks:
             self._callbacks.remove(callback)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         state = "done" if self._done else "pending"
         return "Event({!r}, {})".format(self.name, state)
 
@@ -84,12 +91,12 @@ class Timeout:
 
     __slots__ = ("delay",)
 
-    def __init__(self, delay):
+    def __init__(self, delay: float) -> None:
         if delay < 0:
             raise SimulationError("negative timeout: {}".format(delay))
         self.delay = delay
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return "Timeout({})".format(self.delay)
 
 
@@ -98,7 +105,7 @@ class AllOf:
 
     __slots__ = ("waitables",)
 
-    def __init__(self, waitables):
+    def __init__(self, waitables: Iterable) -> None:
         self.waitables = list(waitables)
 
 
@@ -107,7 +114,7 @@ class AnyOf:
 
     __slots__ = ("waitables",)
 
-    def __init__(self, waitables):
+    def __init__(self, waitables: Iterable) -> None:
         self.waitables = list(waitables)
         if not self.waitables:
             raise SimulationError("AnyOf requires at least one waitable")

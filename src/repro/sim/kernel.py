@@ -1,11 +1,14 @@
 """The simulator core: a deterministic event heap with virtual time."""
 
+from __future__ import annotations
+
 import heapq
+from typing import Any, Callable, Generator
 
 from repro.sim.errors import SimulationError
 from repro.sim.events import Event
 from repro.sim.process import Process
-from repro.sim.rng import SeedSequence
+from repro.sim.rng import RngStream, SeedSequence
 
 
 class _ScheduledCall:
@@ -13,14 +16,20 @@ class _ScheduledCall:
 
     __slots__ = ("time", "seq", "callback", "args", "cancelled")
 
-    def __init__(self, time, seq, callback, args):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., object],
+        args: tuple,
+    ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
 
-    def __lt__(self, other):
+    def __lt__(self, other: "_ScheduledCall") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
 
 
@@ -32,17 +41,20 @@ class Simulator:
     the event heap plus seeded RNG streams handed out by :meth:`rng`.
     """
 
-    def __init__(self, seed=0):
-        self.now = 0.0
-        self._heap = []
+    def __init__(self, seed: int = 0) -> None:
+        self.now: float = 0.0
+        self._heap: list[_ScheduledCall] = []
         self._seq = 0
         self._seeds = SeedSequence(seed)
-        self.failed_processes = []  # (process, exception) of crashed processes
+        # (process, exception) of crashed processes
+        self.failed_processes: list[tuple[Process, BaseException]] = []
 
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def schedule(self, delay, callback, *args):
+    def schedule(
+        self, delay: float, callback: Callable[..., object], *args: Any
+    ) -> _ScheduledCall:
         """Run ``callback(*args)`` after ``delay`` virtual seconds.
 
         Returns a handle whose ``cancelled`` flag may be set to skip the call.
@@ -54,22 +66,22 @@ class Simulator:
         heapq.heappush(self._heap, entry)
         return entry
 
-    def spawn(self, generator, name=""):
+    def spawn(self, generator: Generator, name: str = "") -> Process:
         """Start a new process running ``generator``; returns the Process."""
         return Process(self, generator, name=name)
 
-    def event(self, name=""):
+    def event(self, name: str = "") -> Event:
         """Create a fresh pending :class:`Event` bound to this simulator."""
         return Event(self, name=name)
 
-    def rng(self, label):
+    def rng(self, label: str) -> RngStream:
         """Return an independent, reproducible RNG stream for ``label``."""
         return self._seeds.stream(label)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def step(self):
+    def step(self) -> bool:
         """Execute the next scheduled call. Returns False when idle."""
         while self._heap:
             entry = heapq.heappop(self._heap)
@@ -82,7 +94,7 @@ class Simulator:
             return True
         return False
 
-    def run(self, until=None):
+    def run(self, until: float | None = None) -> float:
         """Run until the heap drains or virtual time passes ``until``."""
         if until is None:
             while self.step():
@@ -99,7 +111,7 @@ class Simulator:
         self.now = max(self.now, until)
         return self.now
 
-    def run_until_complete(self, process, limit=None):
+    def run_until_complete(self, process: Process, limit: float | None = None) -> Any:
         """Run until ``process`` finishes; returns its value or re-raises.
 
         ``limit`` bounds virtual time as a safety net against deadlock.
@@ -118,5 +130,5 @@ class Simulator:
         return process.result()
 
     @property
-    def pending_events(self):
+    def pending_events(self) -> int:
         return sum(1 for entry in self._heap if not entry.cancelled)

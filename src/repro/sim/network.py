@@ -20,9 +20,15 @@ Dropped and partitioned messages still count in ``messages_sent`` /
 tallied in ``messages_dropped``.
 """
 
-from dataclasses import dataclass
+from __future__ import annotations
 
-from repro.sim.events import AllOf
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.sim.events import AllOf, Event
+
+if TYPE_CHECKING:
+    from repro.sim.kernel import Simulator
 
 
 @dataclass
@@ -45,24 +51,24 @@ class LinkState:
 
     __slots__ = ("partitioned", "loss", "extra_latency")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.partitioned = False
         self.loss = 0.0
         self.extra_latency = 0.0
 
     @property
-    def faulty(self):
+    def faulty(self) -> bool:
         return self.partitioned or self.loss > 0.0 or self.extra_latency > 0.0
 
 
 class Network:
     """Delivers messages between named nodes on a shared simulator."""
 
-    def __init__(self, sim, config=None):
+    def __init__(self, sim: "Simulator", config: NetworkConfig | None = None) -> None:
         self.sim = sim
         self.config = config or NetworkConfig()
         self._rng = sim.rng("network")
-        self._links = {}  # frozenset({a, b}) -> LinkState
+        self._links: dict[frozenset, LinkState] = {}  # frozenset({a, b}) -> LinkState
         self.messages_sent = 0
         self.bytes_sent = 0
         self.messages_dropped = 0
@@ -70,39 +76,39 @@ class Network:
     # ------------------------------------------------------------------
     # Link fault state (chaos injection)
     # ------------------------------------------------------------------
-    def link(self, a, b):
+    def link(self, a: str, b: str) -> LinkState:
         """The mutable :class:`LinkState` of the unordered pair ``{a, b}``."""
         key = frozenset((a, b))
         if key not in self._links:
             self._links[key] = LinkState()
         return self._links[key]
 
-    def partition(self, a, b):
+    def partition(self, a: str, b: str) -> None:
         """Cut the link between ``a`` and ``b`` (both directions)."""
         self.link(a, b).partitioned = True
 
-    def heal_partition(self, a, b):
+    def heal_partition(self, a: str, b: str) -> None:
         self.link(a, b).partitioned = False
 
-    def is_partitioned(self, a, b):
+    def is_partitioned(self, a: str, b: str) -> bool:
         if a == b:
             return False
         key = frozenset((a, b))
         state = self._links.get(key)
         return state is not None and state.partitioned
 
-    def set_loss(self, a, b, p):
+    def set_loss(self, a: str, b: str, p: float) -> None:
         """Drop messages between ``a`` and ``b`` with probability ``p``."""
         self.link(a, b).loss = p
 
-    def set_extra_latency(self, a, b, extra):
+    def set_extra_latency(self, a: str, b: str, extra: float) -> None:
         """Add ``extra`` seconds of one-way delay between ``a`` and ``b``."""
         self.link(a, b).extra_latency = extra
 
-    def clear_link_faults(self):
+    def clear_link_faults(self) -> None:
         self._links.clear()
 
-    def _link_state(self, src, dst):
+    def _link_state(self, src: str, dst: str) -> LinkState | None:
         if src == dst:
             return None
         return self._links.get(frozenset((src, dst)))
@@ -110,7 +116,7 @@ class Network:
     # ------------------------------------------------------------------
     # Delivery
     # ------------------------------------------------------------------
-    def delay_for(self, src, dst, size=0):
+    def delay_for(self, src: str, dst: str, size: int = 0) -> float:
         """One-way delay in seconds for a ``size``-byte message src -> dst."""
         if src == dst:
             return 0.0
@@ -122,7 +128,7 @@ class Network:
             delay += state.extra_latency
         return delay
 
-    def send(self, src, dst, size=0):
+    def send(self, src: str, dst: str, size: int = 0) -> Event:
         """Returns an event that succeeds when the message has arrived.
 
         On a partitioned or (probabilistically) lossy link the event never
@@ -142,7 +148,9 @@ class Network:
         self.sim.schedule(self.delay_for(src, dst, size), arrived.succeed, None)
         return arrived
 
-    def roundtrip(self, src, dst, request_size=0, response_size=0):
+    def roundtrip(
+        self, src: str, dst: str, request_size: int = 0, response_size: int = 0
+    ) -> Event:
         """Returns an event for a request/response pair's total delay.
 
         Composed of two :meth:`send` events (request, then response once the
@@ -160,6 +168,6 @@ class Network:
         request.add_callback(_request_arrived)
         return done
 
-    def broadcast(self, src, dsts, size=0):
+    def broadcast(self, src: str, dsts: Iterable[str], size: int = 0) -> AllOf:
         """Waitable that completes when the message reached every node."""
         return AllOf([self.send(src, dst, size) for dst in dsts])

@@ -6,6 +6,8 @@ which other components draw numbers, so adding a new component never perturbs
 existing runs with the same seed.
 """
 
+from __future__ import annotations
+
 import hashlib
 import random
 
@@ -13,49 +15,49 @@ import random
 class SeedSequence:
     """Derives child seeds from a root seed plus a string label."""
 
-    def __init__(self, root_seed):
+    def __init__(self, root_seed: int) -> None:
         self.root_seed = int(root_seed)
 
-    def child_seed(self, label):
+    def child_seed(self, label: str) -> int:
         digest = hashlib.sha256(
             "{}/{}".format(self.root_seed, label).encode("utf-8")
         ).digest()
         return int.from_bytes(digest[:8], "big")
 
-    def stream(self, label):
+    def stream(self, label: str) -> "RngStream":
         return RngStream(self.child_seed(label), label=label)
 
 
 class RngStream:
     """A labelled wrapper over :class:`random.Random` with workload helpers."""
 
-    def __init__(self, seed, label=""):
+    def __init__(self, seed: int, label: str = "") -> None:
         self.label = label
         self._random = random.Random(seed)
 
-    def random(self):
+    def random(self) -> float:
         return self._random.random()
 
-    def randint(self, low, high):
+    def randint(self, low: int, high: int) -> int:
         """Uniform integer in [low, high] inclusive."""
         return self._random.randint(low, high)
 
     def choice(self, seq):
         return self._random.choice(seq)
 
-    def shuffle(self, seq):
+    def shuffle(self, seq) -> None:
         self._random.shuffle(seq)
 
-    def sample(self, population, k):
+    def sample(self, population, k: int) -> list:
         return self._random.sample(population, k)
 
-    def uniform(self, low, high):
+    def uniform(self, low: float, high: float) -> float:
         return self._random.uniform(low, high)
 
-    def expovariate(self, rate):
+    def expovariate(self, rate: float) -> float:
         return self._random.expovariate(rate)
 
-    def nuround(self, value):
+    def nuround(self, value: float) -> int:
         """Stochastic rounding: 2.3 becomes 3 with probability 0.3, else 2."""
         base = int(value)
         frac = value - base

@@ -21,16 +21,22 @@ The coordinator, the 2PC prepare/commit legs and the migration propagation
 send path all route their cross-node hops through :func:`reliable_send`.
 """
 
+from __future__ import annotations
+
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator
 
 from repro.sim.errors import SimulationError
 from repro.sim.events import AnyOf, Timeout
+
+if TYPE_CHECKING:
+    from repro.sim.network import Network
 
 
 class RpcTimeout(SimulationError):
     """An RPC exhausted its retry budget without an acknowledged delivery."""
 
-    def __init__(self, src, dst, attempts):
+    def __init__(self, src: str, dst: str, attempts: int) -> None:
         super().__init__(
             "rpc {} -> {} gave up after {} attempts".format(src, dst, attempts)
         )
@@ -55,7 +61,7 @@ class RetryPolicy:
     backoff_cap: float = 0.5
     persistent: bool = False
 
-    def backoff(self, attempt):
+    def backoff(self, attempt: int) -> float:
         """Delay before retransmit number ``attempt`` (1-based)."""
         return min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
 
@@ -67,7 +73,14 @@ DEFAULT_POLICY = RetryPolicy()
 PERSISTENT_POLICY = RetryPolicy(persistent=True, max_attempts=0)
 
 
-def reliable_send(network, src, dst, size=0, policy=None, stats=None):
+def reliable_send(
+    network: "Network",
+    src: str,
+    dst: str,
+    size: int = 0,
+    policy: RetryPolicy | None = None,
+    stats: "RpcStats | None" = None,
+) -> Generator:
     """Generator: deliver a one-way message with timeout + retry.
 
     Completes when one transmitted copy of the message has arrived. Raises
@@ -93,8 +106,14 @@ def reliable_send(network, src, dst, size=0, policy=None, stats=None):
 
 
 def reliable_roundtrip(
-    network, src, dst, request_size=0, response_size=0, policy=None, stats=None
-):
+    network: "Network",
+    src: str,
+    dst: str,
+    request_size: int = 0,
+    response_size: int = 0,
+    policy: RetryPolicy | None = None,
+    stats: "RpcStats | None" = None,
+) -> Generator:
     """Generator: request/response round trip with timeout + retry."""
     policy = policy or DEFAULT_POLICY
     attempt = 0
@@ -118,6 +137,6 @@ class RpcStats:
 
     __slots__ = ("rpc_timeouts", "rpc_retries")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.rpc_timeouts = 0
         self.rpc_retries = 0

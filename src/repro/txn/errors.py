@@ -12,7 +12,7 @@ class TransactionError(Exception):
 
     kind = "error"
 
-    def __init__(self, message="", txn_id=None):
+    def __init__(self, message: str = "", txn_id: "int | None" = None) -> None:
         super().__init__(message)
         self.txn_id = txn_id
 

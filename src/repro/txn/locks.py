@@ -12,24 +12,32 @@ Shard (partition) locks model two things from the paper:
   transfer (§2.3.3).
 """
 
+from __future__ import annotations
+
 from collections import deque
+from typing import TYPE_CHECKING, Hashable, Iterable
 
 from repro.sim.errors import SimulationError
+from repro.sim.ordered import OrderedSet
+
+if TYPE_CHECKING:
+    from repro.sim.events import Event
+    from repro.sim.kernel import Simulator
 
 
 class RowLockTable:
     """Per-shard row lock table with FIFO queuing and reentrancy."""
 
-    def __init__(self, sim, name=""):
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.name = name
-        self._owners = {}
-        self._queues = {}
+        self._owners: dict = {}
+        self._queues: dict = {}
 
-    def holder(self, key):
+    def holder(self, key: Hashable):
         return self._owners.get(key)
 
-    def acquire(self, key, owner):
+    def acquire(self, key: Hashable, owner) -> "Event":
         """Event that succeeds once ``owner`` holds the row lock on ``key``."""
         event = self.sim.event(name="rowlock:{}:{}".format(self.name, key))
         current = self._owners.get(key)
@@ -42,7 +50,7 @@ class RowLockTable:
             self._queues.setdefault(key, deque()).append((owner, event))
         return event
 
-    def release(self, key, owner):
+    def release(self, key: Hashable, owner) -> None:
         if self._owners.get(key) != owner:
             raise SimulationError(
                 "lock on {!r} not held by {!r}".format(key, owner)
@@ -61,11 +69,11 @@ class RowLockTable:
             del self._queues[key]
         del self._owners[key]
 
-    def release_all(self, owner, keys):
+    def release_all(self, owner, keys: Iterable[Hashable]) -> None:
         for key in keys:
             self.release(key, owner)
 
-    def cancel_wait(self, key, owner):
+    def cancel_wait(self, key: Hashable, owner) -> None:
         """Drop ``owner``'s queued request for ``key`` (txn aborted while
         waiting). The wait event is failed so a blocked process wakes."""
         queue = self._queues.get(key)
@@ -84,7 +92,9 @@ class _ShardLockState:
     __slots__ = ("shared_owners", "exclusive_owner", "queue")
 
     def __init__(self):
-        self.shared_owners = set()
+        # Insertion-ordered: holder snapshots and release sweeps iterate in
+        # grant order rather than hash order (simlint SIM003).
+        self.shared_owners = OrderedSet()
         self.exclusive_owner = None
         self.queue = deque()  # (mode, owner, event)
 
@@ -99,12 +109,12 @@ class SharedExclusiveLockTable:
     SHARED = "shared"
     EXCLUSIVE = "exclusive"
 
-    def __init__(self, sim, name=""):
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.name = name
-        self._locks = {}
+        self._locks: dict = {}
 
-    def _state(self, shard_id):
+    def _state(self, shard_id) -> _ShardLockState:
         if shard_id not in self._locks:
             self._locks[shard_id] = _ShardLockState()
         return self._locks[shard_id]
@@ -113,8 +123,8 @@ class SharedExclusiveLockTable:
         """(exclusive_owner, set_of_shared_owners) snapshot."""
         state = self._locks.get(shard_id)
         if state is None:
-            return None, set()
-        return state.exclusive_owner, set(state.shared_owners)
+            return None, OrderedSet()
+        return state.exclusive_owner, state.shared_owners.copy()
 
     def write_holder(self, shard_id):
         state = self._locks.get(shard_id)
@@ -134,7 +144,7 @@ class SharedExclusiveLockTable:
         else:
             state.exclusive_owner = owner
 
-    def acquire(self, shard_id, owner, mode):
+    def acquire(self, shard_id, owner, mode: str) -> "Event":
         """Event succeeding once ``owner`` holds ``shard_id`` in ``mode``."""
         if mode not in (self.SHARED, self.EXCLUSIVE):
             raise SimulationError("bad lock mode {!r}".format(mode))
@@ -163,7 +173,7 @@ class SharedExclusiveLockTable:
             state.queue.append((mode, owner, event))
         return event
 
-    def release(self, shard_id, owner):
+    def release(self, shard_id, owner) -> None:
         state = self._locks.get(shard_id)
         if state is None:
             raise SimulationError("shard {!r} has no lock state".format(shard_id))
@@ -196,7 +206,7 @@ class SharedExclusiveLockTable:
                 return
             # keep draining consecutive shared waiters
 
-    def cancel_wait(self, shard_id, owner):
+    def cancel_wait(self, shard_id, owner) -> None:
         state = self._locks.get(shard_id)
         if state is None:
             return

@@ -13,11 +13,19 @@ and commit paths. Remus uses this for the sync barrier + MOCC validation wait
 (§3.4/§3.5.2) without the transaction layer knowing anything about migration.
 """
 
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
 from repro.sim.errors import Interrupt
+from repro.sim.ordered import OrderedSet
 from repro.storage.clog import TxnStatus
 from repro.storage.wal import WalRecord, WalRecordKind
 from repro.txn.errors import SerializationFailure, TransactionError, UniqueViolation
 from repro.txn.locks import RowLockTable, SharedExclusiveLockTable
+
+if TYPE_CHECKING:
+    from repro.txn.transaction import Participant, Transaction
 
 
 class MissingRow(KeyError):
@@ -60,7 +68,7 @@ class NodeTxnManager:
         self._row_locks = {}
         self._next_xid = 0
         self._commit_hooks = []
-        self.active_xids = set()
+        self.active_xids = OrderedSet()
         self._first_change_lsn = {}  # xid -> LSN of its first change record
         self.extra_flush_latency = 0.0  # synchronous replication round trip
         self.flush_stall_until = 0.0  # chaos: WAL device stalled until then
@@ -68,7 +76,7 @@ class NodeTxnManager:
     # ------------------------------------------------------------------
     # Participant management
     # ------------------------------------------------------------------
-    def ensure_participant(self, txn):
+    def ensure_participant(self, txn: "Transaction") -> "Participant":
         participant = txn.participant(self.node_id)
         if participant is None:
             self._next_xid += 1
@@ -77,24 +85,24 @@ class NodeTxnManager:
             self.active_xids.add(participant.xid)
         return participant
 
-    def row_locks(self, shard_id):
+    def row_locks(self, shard_id) -> RowLockTable:
         if shard_id not in self._row_locks:
             self._row_locks[shard_id] = RowLockTable(
                 self.sim, name="{}:{}".format(self.node_id, shard_id)
             )
         return self._row_locks[shard_id]
 
-    def add_commit_hook(self, hook):
+    def add_commit_hook(self, hook: CommitHook) -> None:
         self._commit_hooks.append(hook)
 
-    def remove_commit_hook(self, hook):
+    def remove_commit_hook(self, hook: CommitHook) -> None:
         if hook in self._commit_hooks:
             self._commit_hooks.remove(hook)
 
     # ------------------------------------------------------------------
     # MVCC operations (generators)
     # ------------------------------------------------------------------
-    def read(self, txn, shard_id, key):
+    def read(self, txn: "Transaction", shard_id, key) -> Generator:
         """Point read of ``key`` under the transaction's snapshot.
 
         The CPU charge grows with the row's version-chain length: as in
@@ -112,7 +120,7 @@ class NodeTxnManager:
         txn.op_count += 1
         return value
 
-    def scan(self, txn, shard_id):
+    def scan(self, txn: "Transaction", shard_id) -> Generator:
         """Full MVCC scan of a shard under the transaction's snapshot.
 
         Returns the list of visible keys. CPU is charged per tuple in
@@ -138,7 +146,7 @@ class NodeTxnManager:
         txn.op_count += 1
         return keys
 
-    def update(self, txn, shard_id, key, value, size=0):
+    def update(self, txn: "Transaction", shard_id, key, value, size: int = 0) -> Generator:
         """SI update with first-updater-wins; appends a new version."""
         participant, latest = yield from self._write_entry(txn, shard_id, key)
         heap = self.heap_for(shard_id)
@@ -153,7 +161,7 @@ class NodeTxnManager:
         yield self.cpu.use(self.costs.cpu_write)
         return True
 
-    def insert(self, txn, shard_id, key, value, size=0):
+    def insert(self, txn: "Transaction", shard_id, key, value, size: int = 0) -> Generator:
         """Insert with primary-key uniqueness enforcement."""
         participant, latest = yield from self._write_entry(txn, shard_id, key)
         heap = self.heap_for(shard_id)
@@ -166,7 +174,7 @@ class NodeTxnManager:
         yield self.cpu.use(self.costs.cpu_write)
         return True
 
-    def delete(self, txn, shard_id, key, size=0):
+    def delete(self, txn: "Transaction", shard_id, key, size: int = 0) -> Generator:
         """SI delete with first-updater-wins."""
         participant, latest = yield from self._write_entry(txn, shard_id, key)
         heap = self.heap_for(shard_id)
@@ -180,7 +188,7 @@ class NodeTxnManager:
         yield self.cpu.use(self.costs.cpu_write)
         return True
 
-    def lock_row(self, txn, shard_id, key, size=0):
+    def lock_row(self, txn: "Transaction", shard_id, key, size: int = 0) -> Generator:
         """Explicit row lock (SELECT ... FOR UPDATE) with WW semantics."""
         participant, latest = yield from self._write_entry(txn, shard_id, key)
         heap = self.heap_for(shard_id)
@@ -292,7 +300,7 @@ class NodeTxnManager:
         )
         self._first_change_lsn.setdefault(participant.xid, lsn)
 
-    def oldest_active_change_lsn(self):
+    def oldest_active_change_lsn(self) -> int:
         """Lowest WAL LSN a new propagation stream must start from so that
         every change of a still-active transaction is covered (§3.3)."""
         if self._first_change_lsn:
@@ -302,7 +310,7 @@ class NodeTxnManager:
     # ------------------------------------------------------------------
     # Shard (partition) locks — Squall mode and lock-and-abort
     # ------------------------------------------------------------------
-    def acquire_shard_lock(self, txn, shard_id, mode):
+    def acquire_shard_lock(self, txn: "Transaction", shard_id, mode: str) -> Generator:
         txn.check_doomed()
         participant = self.ensure_participant(txn)
         if shard_id in participant.shard_locks and mode == SharedExclusiveLockTable.SHARED:
@@ -332,7 +340,7 @@ class NodeTxnManager:
         while self.sim.now < self.flush_stall_until:
             yield self.flush_stall_until - self.sim.now
 
-    def local_prepare(self, txn):
+    def local_prepare(self, txn: "Transaction") -> Generator:
         """Write + flush the prepare (validation) record; mark PREPARED.
 
         Runs the registered commit hooks afterwards — this is where Remus'
@@ -358,7 +366,7 @@ class NodeTxnManager:
         for hook in list(self._commit_hooks):
             yield from hook.after_prepare(txn, participant)
 
-    def local_commit(self, txn, commit_ts):
+    def local_commit(self, txn: "Transaction", commit_ts: int) -> Generator:
         """Durably commit the local participant and release its locks.
 
         Idempotent under redelivery: 2PC decisions are retransmitted, so the
@@ -380,7 +388,7 @@ class NodeTxnManager:
         for hook in list(self._commit_hooks):
             yield from hook.after_commit(txn, participant, commit_ts)
 
-    def local_abort(self, txn):
+    def local_abort(self, txn: "Transaction") -> Generator:
         """Abort the local participant: CLOG abort + release locks.
 
         Version cleanup is logical (CLOG status), as in PostgreSQL; vacuum
@@ -407,7 +415,7 @@ class NodeTxnManager:
         for hook in list(self._commit_hooks):
             yield from hook.after_abort(txn, participant)
 
-    def force_abort_participant(self, participant):
+    def force_abort_participant(self, participant: "Participant") -> bool:
         """Synchronously abort an in-progress participant (crash teardown).
 
         Unlike :meth:`local_abort` this skips the WAL record and commit

@@ -18,41 +18,43 @@ Both oracles expose the same generator-based interface:
     oracle.observe(node_id, some_remote_ts)
 """
 
+from __future__ import annotations
+
 # Timestamps are integers: (physical microseconds << LOGICAL_BITS) | logical.
 LOGICAL_BITS = 16
 
 
-def encode_hlc(physical_micros, logical=0):
+def encode_hlc(physical_micros: int, logical: int = 0) -> int:
     return (physical_micros << LOGICAL_BITS) | logical
 
 
-def decode_hlc(ts):
+def decode_hlc(ts: int) -> tuple[int, int]:
     return ts >> LOGICAL_BITS, ts & ((1 << LOGICAL_BITS) - 1)
 
 
 class HybridLogicalClock:
     """One node's HLC: monotone, causality-tracking, physically anchored."""
 
-    def __init__(self, sim, skew=0.0):
+    def __init__(self, sim, skew: float = 0.0) -> None:
         self.sim = sim
         self.skew = skew
         self._last = 0
 
-    def _physical(self):
+    def _physical(self) -> int:
         return encode_hlc(int((self.sim.now + self.skew) * 1e6))
 
-    def now(self):
+    def now(self) -> int:
         """Advance the clock and return a fresh, strictly increasing ts."""
         candidate = max(self._physical(), self._last + 1)
         self._last = candidate
         return candidate
 
-    def update(self, observed_ts):
+    def update(self, observed_ts: int) -> None:
         """Merge a timestamp observed on an incoming message (causality)."""
         if observed_ts > self._last:
             self._last = observed_ts
 
-    def peek(self):
+    def peek(self) -> int:
         return max(self._physical(), self._last)
 
 
@@ -67,7 +69,7 @@ class DtsOracle:
         self._default_skew = default_skew
         self._clocks = {}
 
-    def clock(self, node_id):
+    def clock(self, node_id: str) -> HybridLogicalClock:
         if node_id not in self._clocks:
             skew = self._skews.get(node_id, self._default_skew)
             self._clocks[node_id] = HybridLogicalClock(self.sim, skew=skew)
@@ -83,18 +85,18 @@ class DtsOracle:
         return clock.now()
         yield  # pragma: no cover
 
-    def observe(self, node_id, ts):
+    def observe(self, node_id: str, ts: int) -> None:
         self.clock(node_id).update(ts)
 
-    def local_now(self, node_id):
+    def local_now(self, node_id: str) -> int:
         """A fresh timestamp from the node's clock (used for prepare acks)."""
         return self.clock(node_id).now()
 
-    def peek(self, node_id):
+    def peek(self, node_id: str) -> int:
         """Non-advancing read of the node's clock (message piggybacking)."""
         return self.clock(node_id).peek()
 
-    def safe_horizon(self):
+    def safe_horizon(self) -> int:
         """A timestamp no future snapshot can precede (vacuum horizon)."""
         if not self._clocks:
             return 0

@@ -7,8 +7,11 @@ is a set of local transactions stitched together by 2PC — while the snapshot
 (start timestamp) is global.
 """
 
+from __future__ import annotations
+
 import enum
 
+from repro.sim.ordered import OrderedSet
 from repro.storage.snapshot import Snapshot
 
 
@@ -33,12 +36,14 @@ class Participant:
         "prepare_lsn",
     )
 
-    def __init__(self, node_id, xid):
+    def __init__(self, node_id: str, xid: int) -> None:
         self.node_id = node_id
         self.xid = xid
-        self.wrote_shards = set()
-        self.row_locks = set()  # (shard_id, key) pairs currently held
-        self.shard_locks = set()
+        # Insertion-ordered so that release/validation loops over them are
+        # deterministic across processes (simlint SIM003).
+        self.wrote_shards = OrderedSet()
+        self.row_locks = OrderedSet()  # (shard_id, key) pairs currently held
+        self.shard_locks = OrderedSet()
         self.writes = 0
         self.prepare_lsn = None  # LSN of this participant's PREPARE record
 
@@ -49,18 +54,20 @@ class Transaction:
     _next_tid = 0
 
     @classmethod
-    def allocate_tid(cls):
+    def allocate_tid(cls) -> int:
         cls._next_tid += 1
         return cls._next_tid
 
-    def __init__(self, tid, coordinator_node, start_ts, label=""):
+    def __init__(
+        self, tid: int, coordinator_node: str, start_ts: int, label: str = ""
+    ) -> None:
         self.tid = tid
         self.coordinator_node = coordinator_node
         self.start_ts = start_ts
         self.label = label
         self.state = TxnState.ACTIVE
-        self.commit_ts = None
-        self.participants = {}
+        self.commit_ts: int | None = None
+        self.participants: dict[str, Participant] = {}
         self.process = None  # owning sim Process; migrations interrupt it
         self.doomed = None  # exception to raise at the next operation
         self.begin_time = None
@@ -69,48 +76,48 @@ class Transaction:
         self.op_count = 0
 
     # ------------------------------------------------------------------
-    def snapshot_for(self, node_id):
+    def snapshot_for(self, node_id: str) -> Snapshot:
         """MVCC snapshot for reads executed on ``node_id``."""
         participant = self.participants.get(node_id)
         xid = participant.xid if participant else None
         return Snapshot(self.start_ts, xid=xid)
 
-    def participant(self, node_id):
+    def participant(self, node_id: str) -> Participant | None:
         return self.participants.get(node_id)
 
-    def add_participant(self, node_id, xid):
+    def add_participant(self, node_id: str, xid: int) -> Participant:
         participant = Participant(node_id, xid)
         self.participants[node_id] = participant
         return participant
 
     @property
-    def participant_nodes(self):
+    def participant_nodes(self) -> list[str]:
         return list(self.participants.keys())
 
     @property
-    def is_distributed(self):
+    def is_distributed(self) -> bool:
         return len(self.participants) > 1
 
     @property
-    def wrote_anything(self):
+    def wrote_anything(self) -> bool:
         return any(p.writes for p in self.participants.values())
 
-    def wrote_shards(self):
-        shards = set()
+    def wrote_shards(self) -> OrderedSet:
+        shards = OrderedSet()
         for participant in self.participants.values():
             shards |= participant.wrote_shards
         return shards
 
     @property
-    def finished(self):
+    def finished(self) -> bool:
         return self.state in (TxnState.COMMITTED, TxnState.ABORTED)
 
-    def doom(self, exc):
+    def doom(self, exc: BaseException) -> None:
         """Mark the transaction for abort at its next safe point."""
         if self.doomed is None and not self.finished:
             self.doomed = exc
 
-    def check_doomed(self):
+    def check_doomed(self) -> None:
         if self.doomed is not None:
             exc, self.doomed = self.doomed, None
             raise exc

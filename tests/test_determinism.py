@@ -1,5 +1,11 @@
 """Determinism: identical seeds reproduce identical runs, bit for bit."""
 
+import hashlib
+import os
+import pathlib
+import subprocess
+import sys
+
 from repro.cluster import Cluster
 from repro.config import ClusterConfig
 from repro.migration import MigrationPlan, RemusMigration, run_plan
@@ -41,3 +47,45 @@ def test_different_seed_differs():
     a = run_once(seed=1)
     b = run_once(seed=2)
     assert a[0] != b[0]
+
+
+_HASHSEED_SNIPPET = """
+import hashlib, sys
+sys.path.insert(0, {src!r})
+sys.path.insert(0, {tests!r})
+from test_determinism import run_once
+
+digest = hashlib.sha256(repr(run_once(seed=7)).encode("utf-8")).hexdigest()
+print(digest)
+"""
+
+
+def _run_with_hashseed(hashseed):
+    root = pathlib.Path(__file__).resolve().parent.parent
+    snippet = _HASHSEED_SNIPPET.format(
+        src=str(root / "src"), tests=str(root / "tests")
+    )
+    env = dict(os.environ, PYTHONHASHSEED=str(hashseed))
+    env.pop("PYTHONPATH", None)
+    result = subprocess.run(
+        [sys.executable, "-c", snippet],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return result.stdout.strip()
+
+
+def test_timeline_independent_of_hash_seed():
+    """The timeline must not depend on PYTHONHASHSEED.
+
+    String hashing is randomized per process, so any iteration over a plain
+    ``set``/``dict`` of strings in protocol code would reorder lock releases
+    or replay chains between processes. simlint (SIM003) guards the source;
+    this test guards the behaviour: two fresh interpreters with different
+    hash seeds must produce byte-identical commit timelines and table dumps.
+    """
+    a = _run_with_hashseed(0)
+    b = _run_with_hashseed(12345)
+    assert a == b
