@@ -66,11 +66,19 @@ def default_config() -> LintConfig:
       the RPC layer itself and the network model legitimately call raw
       ``send`` and live outside those paths.
     - The analysis package lints everything but itself.
+    - The benchmark harness (``repro/bench``) is covered like everything
+      else, except that its timing modules measure wall-clock time *by
+      definition* — kernel_bench and sweep are exempt from SIM001 only.
     """
     exempt_self = ("*/analysis/*",)
+    wall_clock_ok = (
+        "*/sim/kernel.py",
+        "*/bench/kernel_bench.py",
+        "*/bench/sweep.py",
+    )
     return LintConfig(
         scopes={
-            "SIM001": RuleScope(exclude=("*/sim/kernel.py",) + exempt_self),
+            "SIM001": RuleScope(exclude=wall_clock_ok + exempt_self),
             "SIM002": RuleScope(exclude=("*/sim/rng.py",) + exempt_self),
             "SIM003": RuleScope(exclude=exempt_self),
             "SIM004": RuleScope(

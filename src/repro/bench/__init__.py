@@ -1,0 +1,9 @@
+"""Benchmark harness: kernel microbenchmarks and parallel seed sweeps.
+
+- :mod:`repro.bench.kernel_bench` — event-storm microbenchmarks of the DES
+  core, including a speedup comparison against the frozen pre-optimization
+  kernel (:mod:`repro.bench._legacy_kernel`);
+- :mod:`repro.bench.sweep` — seeds x (scenario, approach) fan-out across a
+  multiprocessing pool with serial byte-identity verification;
+- :mod:`repro.bench.cli` — the ``repro bench`` / ``repro sweep`` wiring.
+"""

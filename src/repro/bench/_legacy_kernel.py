@@ -1,0 +1,101 @@
+"""The pre-optimization DES kernel, frozen as a benchmark reference.
+
+This is a verbatim copy of ``repro.sim.kernel`` as it stood before the
+fast-path rewrite (object heap entries with a Python ``__lt__``, a
+``step()`` call per event inside ``run``, and an O(n) ``pending_events``
+scan). The kernel microbenchmark (:mod:`repro.bench.kernel_bench`) runs the
+same callback event storm against this class and the live
+:class:`repro.sim.kernel.Simulator` to report the speedup ratio, so the
+fast path is guarded by a measurement rather than by folklore.
+
+Only the kernel surface used by the storms is exercised here (``schedule``,
+``step``, ``run``); process/event helpers are kept for completeness but the
+live :class:`~repro.sim.process.Process` now requires ``Simulator.cancel``
+and is not supported on the legacy kernel.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.sim.errors import SimulationError
+from repro.sim.rng import RngStream, SeedSequence
+
+
+class _LegacyScheduledCall:
+    """A heap entry. Ordered by (time, sequence) so ties are FIFO."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., object],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "_LegacyScheduledCall") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class LegacySimulator:
+    """The pre-fast-path simulator: one Python method call per comparison."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now: float = 0.0
+        self._heap: list[_LegacyScheduledCall] = []
+        self._seq = 0
+        self._seeds = SeedSequence(seed)
+        self.failed_processes: list = []
+
+    def schedule(
+        self, delay: float, callback: Callable[..., object], *args: Any
+    ) -> _LegacyScheduledCall:
+        if delay < 0:
+            raise SimulationError("cannot schedule in the past (delay={})".format(delay))
+        self._seq += 1
+        entry = _LegacyScheduledCall(self.now + delay, self._seq, callback, args)
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def rng(self, label: str) -> RngStream:
+        return self._seeds.stream(label)
+
+    def step(self) -> bool:
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            if entry.time < self.now:
+                raise SimulationError("time went backwards")
+            self.now = entry.time
+            entry.callback(*entry.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None) -> float:
+        if until is None:
+            while self.step():
+                pass
+            return self.now
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time > until:
+                break
+            self.step()
+        self.now = max(self.now, until)
+        return self.now
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for entry in self._heap if not entry.cancelled)

@@ -1,0 +1,185 @@
+"""``repro bench`` and ``repro sweep``: the benchmark harness entry points.
+
+``repro bench`` runs the kernel microbenchmark (and, unless skipped, a
+seed sweep over the experiment cells) and writes ``BENCH_kernel.json`` and
+``BENCH_experiments.json``. With ``--baseline`` it gates the kernel's
+events/sec against a committed baseline file — the CI smoke job fails a PR
+that regresses the hot loop by more than ``--max-regression``.
+
+``repro sweep`` is the standalone fan-out: seeds x (scenario, approach)
+cells across a worker pool, with ``--verify-serial`` proving byte-identical
+results versus a serial rerun.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from repro.bench.kernel_bench import check_against_baseline, run_kernel_bench
+from repro.bench.sweep import SMOKE_OVERRIDES, default_cells, run_sweep
+from repro.experiments import registry
+
+
+def add_bench_arguments(parser):
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small scales + one approach per scenario (CI-friendly)",
+    )
+    parser.add_argument(
+        "--out-dir",
+        default=".",
+        help="directory for BENCH_kernel.json / BENCH_experiments.json",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=max(1, min(4, os.cpu_count() or 1)),
+        help="worker processes for the experiment sweep (default: up to 4)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=3, help="seeds per experiment cell"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N kernel timing repeats"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="committed BENCH_kernel.json to gate events/sec against",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="allowed fractional events/sec drop vs --baseline (default 0.30)",
+    )
+    parser.add_argument(
+        "--skip-experiments",
+        action="store_true",
+        help="kernel microbenchmark only; do not run the experiment sweep",
+    )
+
+
+def run_bench_command(args):
+    kernel = run_kernel_bench(smoke=args.smoke, repeats=args.repeats)
+    kernel_path = os.path.join(args.out_dir, "BENCH_kernel.json")
+    _write_json(kernel_path, kernel)
+    storm = kernel["storms"]["callback_storm"]
+    print(
+        "kernel: {:,.0f} events/s (legacy {:,.0f}) -> {:.2f}x speedup".format(
+            storm["events_per_sec"],
+            storm["legacy"]["events_per_sec"],
+            kernel["speedup_vs_legacy"],
+        )
+    )
+    print("wrote {}".format(kernel_path))
+
+    status = 0
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        failures = check_against_baseline(kernel, baseline, args.max_regression)
+        for failure in failures:
+            print("REGRESSION {}".format(failure), file=sys.stderr)
+        if failures:
+            status = 1
+
+    if not args.skip_experiments:
+        cells = default_cells(smoke=args.smoke)
+        overrides = SMOKE_OVERRIDES if args.smoke else {}
+        sweep = run_sweep(
+            cells,
+            seeds=list(range(args.seeds)),
+            jobs_in_parallel=args.jobs,
+            overrides_by_scenario=overrides,
+            verify_serial=False,
+        )
+        sweep_path = os.path.join(args.out_dir, "BENCH_experiments.json")
+        _write_json(sweep_path, sweep)
+        for key, cell in sweep["cells"].items():
+            print(
+                "  {:<28} mean {:.2f}s over seeds {}".format(
+                    key, cell["runtime_sec"]["mean"], cell["seeds"]
+                )
+            )
+        print("wrote {}".format(sweep_path))
+    return status
+
+
+def add_sweep_arguments(parser):
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        help="scenario to sweep (repeatable; default: all registered)",
+    )
+    parser.add_argument(
+        "--approach",
+        action="append",
+        default=None,
+        help="approach to include (repeatable; default: all the scenario supports)",
+    )
+    parser.add_argument("--seeds", type=int, default=4, help="seeds per cell")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=max(1, min(4, os.cpu_count() or 1)),
+        help="worker processes (default: up to 4)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny-scale configs (seconds per cell)"
+    )
+    parser.add_argument(
+        "--out", default=None, help="write the aggregate payload to this JSON file"
+    )
+    parser.add_argument(
+        "--verify-serial",
+        action="store_true",
+        help="rerun every cell serially and require byte-identical payloads",
+    )
+
+
+def run_sweep_command(args):
+    try:
+        for name in args.scenario or ():
+            registry.get(name)  # fail fast with the scenario list
+        cells = default_cells(
+            scenarios=args.scenario, approaches=args.approach, smoke=args.smoke
+        )
+    except ValueError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+    if not cells:
+        print("error: no (scenario, approach) cells selected", file=sys.stderr)
+        return 2
+    overrides = SMOKE_OVERRIDES if args.smoke else {}
+    payload = run_sweep(
+        cells,
+        seeds=list(range(args.seeds)),
+        jobs_in_parallel=args.jobs,
+        overrides_by_scenario=overrides,
+        verify_serial=args.verify_serial,
+    )
+    for key, cell in payload["cells"].items():
+        line = "{:<28} mean {:.2f}s  seeds {}".format(
+            key, cell["runtime_sec"]["mean"], cell["seeds"]
+        )
+        print(line)
+    if args.verify_serial:
+        print("parallel == serial: byte-identical payloads for all cells")
+    if args.out:
+        _write_json(args.out, payload)
+        print("wrote {}".format(args.out))
+    return 0
+
+
+def _write_json(path, payload):
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,183 @@
+"""Kernel event-storm microbenchmarks.
+
+Measures the DES core in events per second of *wall-clock* time, on three
+storms of increasing stack depth:
+
+- ``callback_storm`` — kernel only: self-rescheduling timer chains plus
+  same-time FIFO bursts and a slice of cancellations. This storm also runs
+  on the frozen pre-optimization kernel
+  (:mod:`repro.bench._legacy_kernel`), and the ratio is the **speedup**
+  number that guards the fast path: the optimized kernel must stay ≥1.5×
+  the legacy kernel on this storm.
+- ``process_storm`` — generator processes ping-ponging on events and
+  timeouts (exercises :mod:`repro.sim.process` wake/detach paths).
+- ``rpc_storm`` — processes doing :func:`repro.sim.rpc.reliable_send` /
+  ``reliable_roundtrip`` hops over a fault-free network (exercises the
+  clean-link fast path end to end).
+
+``repro bench`` serializes the result as ``BENCH_kernel.json`` so every PR
+leaves a wall-clock trajectory behind; the CI smoke job gates on the
+``callback_storm`` events/sec against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench._legacy_kernel import LegacySimulator
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.sim.rpc import reliable_roundtrip, reliable_send
+
+#: (chains, depth) per mode; events ~ chains * (depth + burst work).
+_CALLBACK_SCALE = {"smoke": (300, 60), "full": (1500, 150)}
+_PROCESS_SCALE = {"smoke": (120, 40), "full": (600, 120)}
+_RPC_SCALE = {"smoke": (60, 30), "full": (300, 100)}
+
+
+def _callback_storm(sim, chains: int, depth: int) -> int:
+    """Kernel-only storm; returns the number of callbacks executed.
+
+    Uses only ``schedule``/``cancel``-free kernel surface shared with the
+    legacy kernel: timer chains with co-prime periods (heap churn), bursts
+    of same-time events (FIFO tie-breaks) and one-shot leaf events.
+    """
+    executed = [0]
+
+    def tick(chain: int, remaining: int) -> None:
+        executed[0] += 1
+        if remaining > 0:
+            sim.schedule(0.001 * (chain % 7 + 1), tick, chain, remaining - 1)
+            if remaining % 16 == 0:
+                # A burst of same-time leaves: stresses FIFO tie-breaking.
+                for _ in range(4):
+                    sim.schedule(0.0005, leaf)
+
+    def leaf() -> None:
+        executed[0] += 1
+
+    for chain in range(chains):
+        sim.schedule(0.0001 * chain, tick, chain, depth)
+    sim.run()
+    return executed[0]
+
+
+def _process_storm(sim, pairs: int, rounds: int) -> int:
+    """Event/timeout ping-pong between process pairs; returns resumptions.
+
+    Each consumer parks on a fresh event; its producer wakes it on a timer.
+    Exercises the generator drive path (timeout scheduling, event callbacks,
+    process resumption) on top of the kernel.
+    """
+    executed = [0]
+
+    def consumer(mailbox):
+        for _ in range(rounds):
+            event = sim.event()
+            mailbox.append(event)
+            yield event
+            executed[0] += 1
+
+    def producer(mailbox):
+        for _ in range(rounds):
+            yield 0.0002
+            executed[0] += 1
+            mailbox.pop().succeed(None)
+
+    for _ in range(pairs):
+        mailbox = []
+        # Consumer first: it parks its event before the producer's timer fires.
+        sim.spawn(consumer(mailbox), name="consumer")
+        sim.spawn(producer(mailbox), name="producer")
+    sim.run()
+    return executed[0]
+
+
+def _rpc_storm(sim, senders: int, hops: int) -> int:
+    """Fault-free reliable RPC chains across a two-node network."""
+    network = Network(sim)
+    executed = [0]
+
+    def sender(index: int):
+        src = "node-{}".format(index % 4)
+        dst = "node-{}".format((index + 1) % 4)
+        for hop in range(hops):
+            executed[0] += 1
+            if hop % 3 == 0:
+                yield from reliable_roundtrip(network, src, dst, 128, 64)
+            else:
+                yield from reliable_send(network, src, dst, 256)
+
+    for index in range(senders):
+        sim.spawn(sender(index), name="rpc-sender")
+    sim.run()
+    return executed[0]
+
+
+def _measure(storm, sim_factory, a: int, b: int, repeats: int = 3) -> dict:
+    """Best-of-``repeats`` wall-clock measurement of one storm."""
+    best = None
+    events = 0
+    for _ in range(repeats):
+        sim = sim_factory()
+        started = time.perf_counter()
+        events = storm(sim, a, b)
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return {
+        "events": events,
+        "seconds": round(best, 6),
+        "events_per_sec": round(events / best, 1),
+    }
+
+
+def run_kernel_bench(smoke: bool = False, repeats: int = 3) -> dict:
+    """Run every storm; returns the ``BENCH_kernel.json`` payload."""
+    mode = "smoke" if smoke else "full"
+    callback_scale = _CALLBACK_SCALE[mode]
+    fast = _measure(_callback_storm, Simulator, *callback_scale, repeats=repeats)
+    legacy = _measure(_callback_storm, LegacySimulator, *callback_scale, repeats=repeats)
+    speedup = fast["events_per_sec"] / legacy["events_per_sec"]
+    storms = {
+        "callback_storm": dict(fast, legacy=legacy, speedup=round(speedup, 3)),
+        "process_storm": _measure(
+            _process_storm, Simulator, *_PROCESS_SCALE[mode], repeats=repeats
+        ),
+        "rpc_storm": _measure(_rpc_storm, Simulator, *_RPC_SCALE[mode], repeats=repeats),
+    }
+    return {
+        "bench": "kernel",
+        "mode": mode,
+        "python": "{}.{}.{}".format(*sys.version_info[:3]),
+        "storms": storms,
+        "speedup_vs_legacy": round(speedup, 3),
+    }
+
+
+def check_against_baseline(payload: dict, baseline: dict, max_regression: float = 0.30):
+    """Compare a fresh kernel bench against a committed baseline.
+
+    Returns a list of human-readable failure strings (empty = pass). A storm
+    fails if its events/sec fell more than ``max_regression`` below the
+    baseline's; storms absent from the baseline are skipped.
+    """
+    failures = []
+    for name, measured in payload["storms"].items():
+        reference = baseline.get("storms", {}).get(name)
+        if not reference:
+            continue
+        floor = reference["events_per_sec"] * (1.0 - max_regression)
+        if measured["events_per_sec"] < floor:
+            failures.append(
+                "{}: {:.0f} events/s is below the {:.0f} floor "
+                "({:.0f} baseline - {:.0%} tolerance)".format(
+                    name,
+                    measured["events_per_sec"],
+                    floor,
+                    reference["events_per_sec"],
+                    max_regression,
+                )
+            )
+    return failures

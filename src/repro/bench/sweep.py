@@ -1,0 +1,218 @@
+"""Parallel seed sweep over (scenario, approach) experiment cells.
+
+Fans N seeds x M cells across a :class:`multiprocessing.Pool` and proves the
+parallelism is *free*: every cell's :meth:`ExperimentResult.to_dict` payload
+is canonicalized (sorted keys, no whitespace) and byte-compared against a
+serial rerun when ``verify_serial`` is on. Simulation results depend only on
+the seed — never on worker scheduling — so the comparison must be exact.
+
+Aggregation reports mean/p5/p95 of the headline metrics per cell, which is
+what the paper-figure benchmarks consume; wall-clock runtimes per seed ride
+along so ``BENCH_experiments.json`` doubles as a performance trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+
+from repro.experiments import registry
+
+#: Tiny-scale overrides per scenario, mirroring tests/test_experiments_smoke.py,
+#: so ``repro bench --smoke`` finishes in seconds while driving the exact same
+#: harness code paths as the calibrated runs.
+SMOKE_OVERRIDES = {
+    "hybrid_a": dict(
+        num_tuples=1200, num_shards=12, ycsb_clients=4, batch_tuples=600,
+        num_batches=2, warmup=1.0, settle=1.0, snapshot_cost=3e-4,
+        max_sim_time=60.0,
+    ),
+    "hybrid_b": dict(
+        num_tuples=1200, num_shards=12, ycsb_clients=4, batch_tuples=600,
+        num_batches=2, warmup=1.0, settle=1.0, snapshot_cost=3e-4,
+        analytical_row_cost=5e-4, max_sim_time=60.0,
+    ),
+    "load_balancing": dict(
+        num_tuples=1200, num_shards=12, ycsb_clients=4, warmup=1.0,
+        settle=1.0, max_sim_time=60.0,
+    ),
+    "scale_out": dict(
+        num_warehouses=6, warehouses_to_move=2, districts_per_warehouse=2,
+        customers_per_district=6, items=12, warmup=1.0, settle=1.0,
+        max_sim_time=60.0,
+    ),
+    "high_contention": dict(
+        shard_tuples=800, hot_tuples=40, num_clients=8, warmup=1.0,
+        run_after=1.0, max_sim_time=30.0,
+    ),
+}
+
+#: Headline metrics aggregated per cell (taken from the result payload).
+_HEADLINE_KEYS = (
+    "downtime_longest",
+    "downtime_total",
+    "avg_throughput_before",
+    "avg_throughput_during",
+    "avg_latency_before",
+    "avg_latency_during",
+    "abort_ratio",
+)
+
+
+def canonical_json(payload) -> str:
+    """Byte-stable serialization used for cross-worker identity checks."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _run_cell(job):
+    """Worker entry point: run one (scenario, approach, seed) cell.
+
+    Top-level (picklable) on purpose; receives a plain dict and returns a
+    plain dict so the Pool transport stays trivially serializable.
+    """
+    started = time.perf_counter()
+    result = registry.run(
+        job["scenario"],
+        approach=job["approach"],
+        seed=job["seed"],
+        **job.get("overrides", {}),
+    )
+    runtime = time.perf_counter() - started
+    return {
+        "scenario": job["scenario"],
+        "approach": job["approach"],
+        "seed": job["seed"],
+        "runtime": runtime,
+        "payload": result.to_dict(),
+    }
+
+
+def _percentile(values, q):
+    """Interpolated percentile (q in [0, 100]) of a non-empty sequence."""
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * q / 100.0
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+
+def _aggregate(values):
+    return {
+        "mean": sum(values) / len(values),
+        "p5": _percentile(values, 5),
+        "p95": _percentile(values, 95),
+    }
+
+
+def make_jobs(cells, seeds, overrides_by_scenario=None):
+    """Expand (scenario, approach) cells x seed list into worker jobs."""
+    overrides_by_scenario = overrides_by_scenario or {}
+    jobs = []
+    for scenario, approach in cells:
+        for seed in seeds:
+            jobs.append({
+                "scenario": scenario,
+                "approach": approach,
+                "seed": seed,
+                "overrides": overrides_by_scenario.get(scenario, {}),
+            })
+    return jobs
+
+
+def run_jobs(jobs, jobs_in_parallel=1):
+    """Run every job, across a worker pool when ``jobs_in_parallel > 1``.
+
+    Returns results in job order regardless of worker scheduling, so the
+    output is invariant to the pool size.
+    """
+    if jobs_in_parallel <= 1 or len(jobs) <= 1:
+        return [_run_cell(job) for job in jobs]
+    workers = min(jobs_in_parallel, len(jobs))
+    with multiprocessing.Pool(processes=workers) as pool:
+        return pool.map(_run_cell, jobs)
+
+
+def run_sweep(
+    cells,
+    seeds,
+    jobs_in_parallel=1,
+    overrides_by_scenario=None,
+    verify_serial=False,
+):
+    """Sweep seeds x cells; returns the ``BENCH_experiments.json`` payload.
+
+    With ``verify_serial``, every cell is rerun serially in-process and the
+    canonical JSON payloads must match the pool's byte for byte — the proof
+    that the parallel fan-out cannot change any result.
+    """
+    jobs = make_jobs(cells, seeds, overrides_by_scenario)
+    results = run_jobs(jobs, jobs_in_parallel=jobs_in_parallel)
+
+    serial_identical = None
+    if verify_serial:
+        serial = [_run_cell(job) for job in jobs]
+        mismatches = [
+            "{}/{} seed {}".format(p["scenario"], p["approach"], p["seed"])
+            for p, s in zip(results, serial)
+            if canonical_json(p["payload"]) != canonical_json(s["payload"])
+        ]
+        if mismatches:
+            raise AssertionError(
+                "parallel sweep diverged from serial on: " + ", ".join(mismatches)
+            )
+        serial_identical = True
+
+    by_cell = {}
+    for item in results:
+        key = "{}/{}".format(item["scenario"], item["approach"])
+        by_cell.setdefault(key, []).append(item)
+
+    cells_payload = {}
+    for key, items in by_cell.items():
+        items.sort(key=lambda item: item["seed"])
+        runtimes = [item["runtime"] for item in items]
+        metrics = {}
+        for metric in _HEADLINE_KEYS:
+            values = [item["payload"].get(metric) for item in items]
+            values = [v for v in values if isinstance(v, (int, float))]
+            if values:
+                metrics[metric] = _aggregate(values)
+        cells_payload[key] = {
+            "seeds": [item["seed"] for item in items],
+            "runtime_sec": {
+                "per_seed": [round(r, 4) for r in runtimes],
+                **{k: round(v, 4) for k, v in _aggregate(runtimes).items()},
+            },
+            "metrics": metrics,
+        }
+
+    return {
+        "bench": "experiments",
+        "seeds": list(seeds),
+        "jobs": jobs_in_parallel,
+        "serial_identical": serial_identical,
+        "cells": cells_payload,
+    }
+
+
+def default_cells(scenarios=None, approaches=None, smoke=False):
+    """(scenario, approach) product restricted to what each scenario supports.
+
+    ``smoke`` keeps one representative approach per scenario ("remus") so the
+    CI smoke sweep stays fast; otherwise every registered approach runs.
+    """
+    cells = []
+    for name in scenarios or registry.names():
+        spec = registry.get(name)
+        if smoke and not approaches:
+            wanted = (spec.default_approach,)
+        else:
+            wanted = approaches or spec.approaches
+        for approach in wanted:
+            if approach in spec.approaches:
+                cells.append((name, approach))
+    return cells

@@ -4,47 +4,35 @@ Examples::
 
     python -m repro list
     python -m repro experiment hybrid_a --approach remus
-    python -m repro experiment load_balancing --approach squall
+    python -m repro experiment load_balancing --approach squall --json
     python -m repro experiment high_contention
     python -m repro chaos --seed 3
     python -m repro chaos --fault-plan "crash:node-2@1.0; partition:node-1|node-3@2.0+0.5"
+    python -m repro bench --smoke
+    python -m repro sweep --scenario hybrid_a --seeds 4 --jobs 4
     python -m repro lint --format json
+
+Scenarios are resolved through the experiment registry
+(:mod:`repro.experiments.registry`); ``repro list`` prints whatever is
+registered, so new scenarios appear here without touching this module.
 """
 
 import argparse
+import json
 import sys
 
-SCENARIOS = ("hybrid_a", "hybrid_b", "load_balancing", "scale_out", "high_contention")
+from repro.experiments import registry
 
-
-def _run_experiment(scenario, approach, seed):
-    from repro.experiments.consolidation import (
-        ConsolidationConfig,
-        run_hybrid_a,
-        run_hybrid_b,
-    )
-    from repro.experiments.high_contention import HighContentionConfig, run_high_contention
-    from repro.experiments.load_balancing import LoadBalancingConfig, run_load_balancing
-    from repro.experiments.scale_out import ScaleOutConfig, run_scale_out
-
-    if scenario == "hybrid_a":
-        return run_hybrid_a(approach, ConsolidationConfig(seed=seed))
-    if scenario == "hybrid_b":
-        return run_hybrid_b(approach, ConsolidationConfig(group_size=4, seed=seed))
-    if scenario == "load_balancing":
-        return run_load_balancing(approach, LoadBalancingConfig(seed=seed))
-    if scenario == "scale_out":
-        return run_scale_out(approach, ScaleOutConfig(seed=seed))
-    if scenario == "high_contention":
-        return run_high_contention(approach, HighContentionConfig(seed=seed))
-    raise ValueError(scenario)
+SCENARIOS = registry.names()
 
 
 def _print_result(result):
+    """Render one experiment result from its stable payload."""
     from repro.metrics.report import render_series
 
-    start, end = result.migration_window
-    if result.throughput:
+    payload = result.to_dict()
+    start, end = payload["migration_window"]
+    if payload["throughput"]:
         markers = {}
         if start is not None:
             markers[start] = "<mig"
@@ -52,8 +40,8 @@ def _print_result(result):
             markers[end] = "mig>"
         print(
             render_series(
-                "throughput ({} / {})".format(result.scenario, result.approach),
-                result.throughput,
+                "throughput ({} / {})".format(payload["scenario"], payload["approach"]),
+                [tuple(point) for point in payload["throughput"]],
                 unit="/s",
                 markers=markers,
             )
@@ -61,11 +49,11 @@ def _print_result(result):
     print()
     print("migration window: {} .. {}".format(start, end))
     print("downtime (longest/total): {:.3f}s / {:.3f}s".format(
-        result.downtime_longest, result.downtime_total))
-    print("aborts by cause:", result.aborts or "{}")
+        payload["downtime_longest"], payload["downtime_total"]))
+    print("aborts by cause:", payload["aborts"] or "{}")
     print("latency before/during: {:.3f} / {:.3f} ms".format(
-        result.avg_latency_before * 1e3, result.avg_latency_during * 1e3))
-    for key, value in sorted(result.extra.items()):
+        payload["avg_latency_before"] * 1e3, payload["avg_latency_during"] * 1e3))
+    for key, value in sorted(payload["extra"].items()):
         if key in ("cpu_source", "cpu_dest", "plan_stats"):
             continue
         print("{}: {}".format(key, value))
@@ -129,10 +117,17 @@ def main(argv=None):
     exp.add_argument("scenario", choices=SCENARIOS)
     exp.add_argument(
         "--approach",
-        default="remus",
-        choices=("remus", "lock_and_abort", "wait_and_remaster", "squall"),
+        default=None,
+        choices=sorted({a for name in SCENARIOS for a in registry.get(name).approaches}),
+        help="migration approach (default: the scenario's default; "
+        "see `repro list` for the per-scenario line-up)",
     )
     exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument(
+        "--json",
+        action="store_true",
+        help="print the result as a JSON payload instead of rendering it",
+    )
 
     chaos = sub.add_parser(
         "chaos",
@@ -153,6 +148,20 @@ def main(argv=None):
         help="approximate number of random faults (ignored with --fault-plan)",
     )
 
+    from repro.bench.cli import add_bench_arguments, add_sweep_arguments
+
+    bench = sub.add_parser(
+        "bench",
+        help="kernel microbenchmark + experiment sweep; writes BENCH_*.json",
+    )
+    add_bench_arguments(bench)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="fan seeds x (scenario, approach) cells across a worker pool",
+    )
+    add_sweep_arguments(sweep)
+
     lint = sub.add_parser(
         "lint",
         help="simlint: determinism & protocol-safety static analysis",
@@ -165,15 +174,36 @@ def main(argv=None):
     if args.command == "list":
         from repro.migration import APPROACHES
 
-        print("scenarios: " + ", ".join(SCENARIOS))
+        print("scenarios:")
+        for name in registry.names():
+            spec = registry.get(name)
+            print("  {:<16} approaches: {}".format(name, ", ".join(spec.approaches)))
+            if spec.description:
+                print("  {:<16} {}".format("", spec.description))
         print("approaches: " + ", ".join(sorted(APPROACHES)))
         return 0
     if args.command == "experiment":
-        result = _run_experiment(args.scenario, args.approach, args.seed)
-        _print_result(result)
+        try:
+            result = registry.run(args.scenario, approach=args.approach, seed=args.seed)
+        except ValueError as exc:
+            print("error: {}".format(exc), file=sys.stderr)
+            return 2
+        if args.json:
+            json.dump(result.to_dict(), sys.stdout, indent=2, sort_keys=True)
+            print()
+        else:
+            _print_result(result)
         return 0
     if args.command == "chaos":
         return _run_chaos(args)
+    if args.command == "bench":
+        from repro.bench.cli import run_bench_command
+
+        return run_bench_command(args)
+    if args.command == "sweep":
+        from repro.bench.cli import run_sweep_command
+
+        return run_sweep_command(args)
     if args.command == "lint":
         from repro.analysis.cli import run_lint
 

@@ -16,6 +16,7 @@ render as the corresponding table or figure:
   (Table 1), derived from measured micro-runs.
 """
 
+from repro.experiments import registry
 from repro.experiments.common import APPROACH_ORDER, ExperimentResult
 
-__all__ = ["APPROACH_ORDER", "ExperimentResult"]
+__all__ = ["APPROACH_ORDER", "ExperimentResult", "registry"]

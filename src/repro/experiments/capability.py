@@ -7,8 +7,9 @@ one hybrid-A consolidation per approach and *derive* the flags from the
 measured run instead of asserting them, so the table is evidence, not lore.
 """
 
+from repro.experiments import registry
 from repro.experiments.common import APPROACH_ORDER
-from repro.experiments.consolidation import ConsolidationConfig, run_hybrid_a
+from repro.experiments.consolidation import ConsolidationConfig
 
 CC_BASIS = {
     "remus": "MVCC",
@@ -56,7 +57,9 @@ def capability_matrix(approaches=APPROACH_ORDER, config=None):
     """Run hybrid-A consolidation per approach and classify each."""
     matrix = {}
     for approach in approaches:
-        result = run_hybrid_a(approach, config or ConsolidationConfig())
+        result = registry.run(
+            "hybrid_a", approach=approach, config=config or ConsolidationConfig()
+        )
         matrix[approach] = classify(result)
         matrix[approach]["result"] = result
     return matrix

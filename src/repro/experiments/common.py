@@ -1,14 +1,34 @@
 """Shared experiment plumbing: cluster construction, runs, result objects."""
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.cluster import Cluster
 from repro.config import ClusterConfig
-from repro.migration import APPROACHES
+from repro.migration import Migration
 from repro.workloads.ycsb import YcsbConfig, YcsbWorkload
 
 # The order the paper's figures present the approaches in.
 APPROACH_ORDER = ("remus", "lock_and_abort", "wait_and_remaster", "squall")
+
+
+def _jsonify(value):
+    """Recursively reduce a result value to JSON-native types.
+
+    Tuples become lists, dict keys become strings, and stats objects that
+    know how to snapshot themselves (``to_dict``) are snapshotted; anything
+    else non-native falls back to ``repr`` so a payload never fails to
+    serialize.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    to_dict = getattr(value, "to_dict", None)
+    if callable(to_dict):
+        return _jsonify(to_dict())
+    return repr(value)
 
 
 @dataclass
@@ -35,6 +55,35 @@ class ExperimentResult:
     def latency_increase(self):
         return max(0.0, self.avg_latency_during - self.avg_latency_before)
 
+    def to_dict(self):
+        """Stable JSON-safe payload of the whole result.
+
+        The contract: ``to_dict`` is deterministic for a deterministic run
+        (the seed-sweep harness compares serial and parallel executions
+        byte-for-byte on the canonical JSON encoding of this payload), and
+        ``from_dict(d).to_dict() == d`` round-trips exactly. Rich objects in
+        ``extra`` (e.g. ``plan_stats``) are flattened to plain dicts.
+        """
+        return {f.name: _jsonify(getattr(self, f.name)) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload):
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Values stay in their JSON-native form (windows and series are
+        lists; ``extra["plan_stats"]`` is a plain dict, not a
+        :class:`~repro.migration.MigrationStats`).
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError("unknown ExperimentResult fields: {}".format(sorted(unknown)))
+        kwargs = dict(payload)
+        for window in ("migration_window", "workload_window"):
+            if window in kwargs and isinstance(kwargs[window], list):
+                kwargs[window] = tuple(kwargs[window])
+        return cls(**kwargs)
+
 
 def build_cluster(num_nodes, approach, seed=0, **config_kwargs):
     """A cluster configured for ``approach`` (Squall needs shard locks).
@@ -57,12 +106,8 @@ def build_ycsb(cluster, **ycsb_kwargs):
 
 
 def approach_class(approach):
-    try:
-        return APPROACHES[approach]
-    except KeyError:
-        raise ValueError(
-            "unknown approach {!r}; pick one of {}".format(approach, sorted(APPROACHES))
-        ) from None
+    """Approach name -> migration class (delegates to the unified factory)."""
+    return Migration.resolve(approach)
 
 
 def migration_window(metrics):

@@ -10,18 +10,19 @@ while the hybrid workload runs. Reproduces:
 - rows of **Table 3** — latency increase for hybrid A and B.
 """
 
+import warnings
 from dataclasses import dataclass
 
+from repro.experiments import registry
 from repro.experiments.common import (
     ExperimentResult,
-    approach_class,
     build_cluster,
     build_ycsb,
     check_no_crashes,
     run_until_finished,
     summarize,
 )
-from repro.migration import MigrationPlan, run_plan
+from repro.migration import Migration
 from repro.migration.base import consolidation_batches
 from repro.workloads.hybrid import AnalyticalClient, BatchIngestClient
 
@@ -62,7 +63,13 @@ class ConsolidationConfig:
         return CostModel(snapshot_scan_per_tuple=self.snapshot_cost)
 
 
-def run_hybrid_a(approach, config=None):
+@registry.register(
+    "hybrid_a",
+    config_cls=ConsolidationConfig,
+    description="cluster consolidation under hybrid workload A: "
+    "uniform YCSB + batch ingestion (Table 2, Figure 6)",
+)
+def _hybrid_a(approach, config=None):
     """Hybrid workload A: uniform YCSB + batch ingestion (Table 2, Fig. 6)."""
     config = config or ConsolidationConfig()
     cluster = build_cluster(
@@ -95,8 +102,8 @@ def run_hybrid_a(approach, config=None):
     plan_kwargs = {}
     if approach == "squall":
         plan_kwargs["chunk_bytes"] = config.squall_chunk_bytes
-    plan = MigrationPlan(approach_class(approach), batches, **plan_kwargs)
-    migration_proc = cluster.spawn(run_plan(cluster, plan), name="consolidation")
+    plan = Migration.plan(approach, batches, **plan_kwargs)
+    migration_proc = cluster.spawn(Migration.launch(cluster, plan), name="consolidation")
     run_until_finished(
         cluster, migration_proc, config.max_sim_time,
         what="{} consolidation".format(approach),
@@ -139,7 +146,14 @@ def run_hybrid_a(approach, config=None):
     return result
 
 
-def run_hybrid_b(approach, config=None):
+@registry.register(
+    "hybrid_b",
+    config_cls=ConsolidationConfig,
+    config_defaults=(("group_size", 4),),
+    description="cluster consolidation under hybrid workload B: "
+    "uniform YCSB + analytical duplicate check (Figure 7)",
+)
+def _hybrid_b(approach, config=None):
     """Hybrid workload B: uniform YCSB + analytical duplicate check (Fig. 7)."""
     config = config or ConsolidationConfig(group_size=4)
     cluster = build_cluster(
@@ -172,8 +186,8 @@ def run_hybrid_b(approach, config=None):
     plan_kwargs = {}
     if approach == "squall":
         plan_kwargs["chunk_bytes"] = config.squall_chunk_bytes
-    plan = MigrationPlan(approach_class(approach), batches, **plan_kwargs)
-    migration_proc = cluster.spawn(run_plan(cluster, plan), name="consolidation")
+    plan = Migration.plan(approach, batches, **plan_kwargs)
+    migration_proc = cluster.spawn(Migration.launch(cluster, plan), name="consolidation")
     run_until_finished(
         cluster, migration_proc, config.max_sim_time,
         what="{} consolidation".format(approach),
@@ -202,3 +216,28 @@ def run_hybrid_b(approach, config=None):
     result.extra["analytical_aborted"] = analytical.aborted
     result.extra["data_intact"] = len(cluster.dump_table("ycsb")) == config.num_tuples
     return result
+
+
+# ----------------------------------------------------------------------
+# Deprecated entry points, kept for callers predating the registry.
+# ----------------------------------------------------------------------
+def run_hybrid_a(approach, config=None):
+    """Deprecated: use ``repro.experiments.registry.run("hybrid_a", ...)``."""
+    warnings.warn(
+        "run_hybrid_a() is deprecated; use "
+        "repro.experiments.registry.run('hybrid_a', approach=..., config=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _hybrid_a(approach, config)
+
+
+def run_hybrid_b(approach, config=None):
+    """Deprecated: use ``repro.experiments.registry.run("hybrid_b", ...)``."""
+    warnings.warn(
+        "run_hybrid_b() is deprecated; use "
+        "repro.experiments.registry.run('hybrid_b', approach=..., config=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _hybrid_b(approach, config)

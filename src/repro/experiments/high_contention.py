@@ -13,16 +13,17 @@ that shard. Reproduced effects:
   dual execution window is short).
 """
 
+import warnings
 from dataclasses import dataclass
 
+from repro.experiments import registry
 from repro.experiments.common import (
     ExperimentResult,
-    approach_class,
     build_cluster,
     check_no_crashes,
     run_until_finished,
 )
-from repro.migration import MigrationPlan, run_plan
+from repro.migration import Migration
 from repro.workloads.client import ClientPool, ClosedLoopClient
 
 
@@ -53,7 +54,14 @@ class HighContentionConfig:
         )
 
 
-def run_high_contention(approach="remus", config=None):
+@registry.register(
+    "high_contention",
+    config_cls=HighContentionConfig,
+    approaches=("remus", "lock_and_abort", "wait_and_remaster", "stop_and_copy"),
+    description="hot-shard migration under high contention with CPU accounting "
+    "(Figure 10)",
+)
+def _high_contention(approach="remus", config=None):
     config = config or HighContentionConfig()
     cluster = build_cluster(
         config.num_nodes,
@@ -99,8 +107,8 @@ def run_high_contention(approach="remus", config=None):
     pool.start()
     cluster.run(until=config.warmup)
 
-    plan = MigrationPlan(approach_class(approach), [([shard], source, dest)])
-    proc = cluster.spawn(run_plan(cluster, plan), name="hot-migration")
+    plan = Migration.plan(approach, [([shard], source, dest)])
+    proc = cluster.spawn(Migration.launch(cluster, plan), name="hot-migration")
     run_until_finished(cluster, proc, config.max_sim_time, what="hot-shard migration")
     end = cluster.sim.now + config.run_after
     cluster.run(until=end)
@@ -147,3 +155,14 @@ def run_high_contention(approach="remus", config=None):
     result.extra["copy_window"] = (copy_start, copy_end)
     result.extra["data_intact"] = len(cluster.dump_table("hot")) == config.shard_tuples
     return result
+
+
+def run_high_contention(approach="remus", config=None):
+    """Deprecated: use ``repro.experiments.registry.run("high_contention", ...)``."""
+    warnings.warn(
+        "run_high_contention() is deprecated; use "
+        "repro.experiments.registry.run('high_contention', approach=..., config=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _high_contention(approach, config)

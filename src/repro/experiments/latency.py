@@ -7,23 +7,14 @@ transaction latency. We measure the increase as (average committed latency
 during the migration window) minus (average before), per approach.
 """
 
-from repro.experiments.consolidation import run_hybrid_a, run_hybrid_b
-from repro.experiments.load_balancing import run_load_balancing
-from repro.experiments.scale_out import run_scale_out
+from repro.experiments import registry
 
 SCENARIOS = ("hybrid_a", "hybrid_b", "load_balancing", "scale_out")
 
 
 def run_scenario(scenario, approach, config=None):
-    if scenario == "hybrid_a":
-        return run_hybrid_a(approach, config)
-    if scenario == "hybrid_b":
-        return run_hybrid_b(approach, config)
-    if scenario == "load_balancing":
-        return run_load_balancing(approach, config)
-    if scenario == "scale_out":
-        return run_scale_out(approach, config)
-    raise ValueError("unknown scenario {!r}".format(scenario))
+    """Resolve and run one scenario via the experiment registry."""
+    return registry.run(scenario, approach=approach, config=config)
 
 
 def latency_table(scenarios=SCENARIOS, approaches=("remus", "lock_and_abort"), configs=None):

@@ -9,18 +9,19 @@ drops and fluctuates because of pull blocking and shard-lock contention on
 the hot shards.
 """
 
+import warnings
 from dataclasses import dataclass
 
+from repro.experiments import registry
 from repro.experiments.common import (
     ExperimentResult,
-    approach_class,
     build_cluster,
     build_ycsb,
     check_no_crashes,
     run_until_finished,
     summarize,
 )
-from repro.migration import MigrationPlan, run_plan
+from repro.migration import Migration
 
 
 @dataclass
@@ -67,7 +68,12 @@ def balancing_batches(cluster, hot_node, hot_shards, migrate_fraction, group_siz
     return batches
 
 
-def run_load_balancing(approach, config=None):
+@registry.register(
+    "load_balancing",
+    config_cls=LoadBalancingConfig,
+    description="hotspot-shard load balancing under skewed YCSB (Figure 8)",
+)
+def _load_balancing(approach, config=None):
     config = config or LoadBalancingConfig()
     cluster = build_cluster(
         config.num_nodes,
@@ -98,8 +104,8 @@ def run_load_balancing(approach, config=None):
     plan_kwargs = {}
     if approach == "squall":
         plan_kwargs["chunk_bytes"] = config.squall_chunk_bytes
-    plan = MigrationPlan(approach_class(approach), batches, **plan_kwargs)
-    proc = cluster.spawn(run_plan(cluster, plan), name="balancing")
+    plan = Migration.plan(approach, batches, **plan_kwargs)
+    proc = cluster.spawn(Migration.launch(cluster, plan), name="balancing")
     run_until_finished(
         cluster, proc, config.max_sim_time,
         what="{} load balancing".format(approach),
@@ -126,3 +132,14 @@ def run_load_balancing(approach, config=None):
     result.extra["data_intact"] = len(cluster.dump_table("ycsb")) == config.num_tuples
     result.extra["plan_stats"] = plan.stats
     return result
+
+
+def run_load_balancing(approach, config=None):
+    """Deprecated: use ``repro.experiments.registry.run("load_balancing", ...)``."""
+    warnings.warn(
+        "run_load_balancing() is deprecated; use "
+        "repro.experiments.registry.run('load_balancing', approach=..., config=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _load_balancing(approach, config)

@@ -10,18 +10,19 @@ transfer and waits on longer TPC-C transactions). Squall is not shown — as
 in the paper, the port does not support multi-key range partitioning.
 """
 
+import warnings
 from dataclasses import dataclass
 
 from repro.cluster.shard import ShardId
+from repro.experiments import registry
 from repro.experiments.common import (
     ExperimentResult,
-    approach_class,
     build_cluster,
     check_no_crashes,
     run_until_finished,
     summarize,
 )
-from repro.migration import MigrationPlan, run_plan
+from repro.migration import Migration
 from repro.workloads.tpcc import TABLES, TpccConfig, TpccWorkload
 
 
@@ -73,7 +74,13 @@ def overloaded_placement(config, node_ids):
     return placement
 
 
-def run_scale_out(approach, config=None):
+@registry.register(
+    "scale_out",
+    config_cls=ScaleOutConfig,
+    approaches=registry.NO_SQUALL,
+    description="TPC-C scale-out: add a node, drain the overloaded one (Figure 9)",
+)
+def _scale_out(approach, config=None):
     if approach == "squall":
         raise NotImplementedError(
             "Squall is not shown in the scale-out evaluation: the port does "
@@ -118,8 +125,8 @@ def run_scale_out(approach, config=None):
         for w in moving[i : i + config.warehouses_per_batch]:
             group.extend(ShardId(table, w) for table in TABLES)
         batches.append((group, config.overloaded_node, new_node))
-    plan = MigrationPlan(approach_class(approach), batches)
-    proc = cluster.spawn(run_plan(cluster, plan), name="scale-out")
+    plan = Migration.plan(approach, batches)
+    proc = cluster.spawn(Migration.launch(cluster, plan), name="scale-out")
     run_until_finished(
         cluster, proc, config.max_sim_time,
         what="{} scale-out".format(approach),
@@ -154,3 +161,14 @@ def run_scale_out(approach, config=None):
     result.extra["new_node_shards"] = len(cluster.shards_on_node(new_node))
     result.extra["plan_stats"] = plan.stats
     return result
+
+
+def run_scale_out(approach, config=None):
+    """Deprecated: use ``repro.experiments.registry.run("scale_out", ...)``."""
+    warnings.warn(
+        "run_scale_out() is deprecated; use "
+        "repro.experiments.registry.run('scale_out', approach=..., config=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _scale_out(approach, config)

@@ -33,6 +33,8 @@ class AbortRecord:
 
 
 class MetricsCollector:
+    __slots__ = ("sim", "commits", "aborts", "marks")
+
     def __init__(self, sim):
         self.sim = sim
         self.commits = []

@@ -24,7 +24,7 @@ The paper's contribution and every baseline it evaluates against:
   crash recovery, bounded retries, graceful degradation (chaos harness).
 """
 
-from repro.migration.base import MigrationPlan, MigrationStats, run_plan
+from repro.migration.base import Migration, MigrationPlan, MigrationStats, run_plan
 from repro.migration.lock_and_abort import LockAndAbortMigration
 from repro.migration.recovery import crash_migration, recover_migration
 from repro.migration.remus import RemusMigration
@@ -48,6 +48,7 @@ APPROACHES = {
 __all__ = [
     "APPROACHES",
     "LockAndAbortMigration",
+    "Migration",
     "MigrationPlan",
     "MigrationStats",
     "MigrationSupervisor",

@@ -46,6 +46,29 @@ class MigrationStats:
             return 0.0
         return self.sync_wait_total / self.sync_waits
 
+    def to_dict(self):
+        """JSON-safe snapshot of the stats (used by experiment payloads)."""
+        return {
+            "phase_times": {
+                name: [start, end] for name, (start, end) in self.phase_times.items()
+            },
+            "tuples_copied": self.tuples_copied,
+            "bytes_copied": self.bytes_copied,
+            "records_propagated": self.records_propagated,
+            "records_applied": self.records_applied,
+            "shadow_txns": self.shadow_txns,
+            "ww_conflicts": self.ww_conflicts,
+            "txns_aborted_by_migration": self.txns_aborted_by_migration,
+            "sync_waits": self.sync_waits,
+            "sync_wait_total": self.sync_wait_total,
+            "avg_sync_wait": self.avg_sync_wait,
+            "chunks_pulled": self.chunks_pulled,
+            "tm_commit_ts": self.tm_commit_ts,
+            "crash_recoveries": self.crash_recoveries,
+            "migration_retries": self.migration_retries,
+            "batches_skipped": self.batches_skipped,
+        }
+
     def merge(self, other):
         """Accumulate another migration's stats (plan-level totals)."""
         self.tuples_copied += other.tuples_copied
@@ -195,6 +218,49 @@ def run_plan(cluster, plan):
             yield plan.pause
     cluster.metrics.mark("migration_end")
     return plan.stats
+
+
+class Migration:
+    """The one front door to every migration approach.
+
+    Historically each family had its own entry point (``IscMigration``
+    subclasses, ``SquallMigration``, ``StopAndCopyMigration``) and callers
+    wired classes, plans and ``run_plan`` together by hand. This facade
+    unifies them: resolve an approach by name or class, build a plan, and
+    launch it — ``experiments/common.py::approach_class`` and every
+    experiment harness delegate here.
+    """
+
+    @staticmethod
+    def resolve(approach):
+        """Approach name (or migration class, passed through) -> class."""
+        if isinstance(approach, type) and issubclass(approach, BaseMigration):
+            return approach
+        from repro.migration import APPROACHES
+
+        try:
+            return APPROACHES[approach]
+        except KeyError:
+            raise ValueError(
+                "unknown approach {!r}; pick one of {}".format(
+                    approach, sorted(APPROACHES)
+                )
+            ) from None
+
+    @staticmethod
+    def plan(approach, batches, pause=0.0, **kwargs):
+        """Build a :class:`MigrationPlan` for an approach name or class."""
+        return MigrationPlan(Migration.resolve(approach), batches, pause=pause, **kwargs)
+
+    @staticmethod
+    def launch(cluster, plan):
+        """Generator: run ``plan`` on ``cluster``; returns the plan's
+        :class:`MigrationStats`. Spawn it to run in the background::
+
+            plan = Migration.plan("remus", batches)
+            proc = cluster.spawn(Migration.launch(cluster, plan), name="consolidation")
+        """
+        return run_plan(cluster, plan)
 
 
 def consolidation_batches(cluster, source, table=None, group_size=2):

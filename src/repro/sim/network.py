@@ -31,7 +31,7 @@ if TYPE_CHECKING:
     from repro.sim.kernel import Simulator
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkConfig:
     """Network cost model.
 
@@ -72,12 +72,21 @@ class Network:
         self.messages_sent = 0
         self.bytes_sent = 0
         self.messages_dropped = 0
+        # Hot-path constants and the per-(src, dst) constant delay component
+        # (base latency + link extra latency), rebuilt when faults change.
+        self._inv_bandwidth = 1.0 / self.config.bandwidth
+        self._delay_cache: dict[tuple[str, str], float] = {}
 
     # ------------------------------------------------------------------
     # Link fault state (chaos injection)
     # ------------------------------------------------------------------
     def link(self, a: str, b: str) -> LinkState:
-        """The mutable :class:`LinkState` of the unordered pair ``{a, b}``."""
+        """The mutable :class:`LinkState` of the unordered pair ``{a, b}``.
+
+        Handing out the mutable state may precede a fault injection, so the
+        precomputed per-pair delays are invalidated here.
+        """
+        self._delay_cache.clear()
         key = frozenset((a, b))
         if key not in self._links:
             self._links[key] = LinkState()
@@ -107,6 +116,23 @@ class Network:
 
     def clear_link_faults(self) -> None:
         self._links.clear()
+        self._delay_cache.clear()
+
+    def link_is_clean(self, src: str, dst: str) -> bool:
+        """True when no fault state can affect a message ``src -> dst``.
+
+        A clean link's messages are always delivered after a deterministic
+        delay, so callers (:mod:`repro.sim.rpc`) may wait on the arrival
+        event directly instead of arming a timeout. Fault state injected
+        *after* a send never affects that message (loss and partition are
+        decided at send time), so this test at send time is sufficient.
+        """
+        if not self._links:
+            return True
+        if src == dst:
+            return True
+        state = self._links.get(frozenset((src, dst)))
+        return state is None or not state.faulty
 
     def _link_state(self, src: str, dst: str) -> LinkState | None:
         if src == dst:
@@ -116,16 +142,27 @@ class Network:
     # ------------------------------------------------------------------
     # Delivery
     # ------------------------------------------------------------------
+    def _constant_delay(self, src: str, dst: str) -> float:
+        """Precomputed size-independent delay component for ``src -> dst``
+        (base latency plus the link's extra latency), cached per pair until
+        the fault state changes."""
+        key = (src, dst)
+        cached = self._delay_cache.get(key)
+        if cached is None:
+            cached = self.config.base_latency
+            state = self._link_state(src, dst)
+            if state is not None:
+                cached += state.extra_latency
+            self._delay_cache[key] = cached
+        return cached
+
     def delay_for(self, src: str, dst: str, size: int = 0) -> float:
         """One-way delay in seconds for a ``size``-byte message src -> dst."""
         if src == dst:
             return 0.0
-        delay = self.config.base_latency + size / self.config.bandwidth
+        delay = self._constant_delay(src, dst) + size * self._inv_bandwidth
         if self.config.jitter > 0:
             delay += self._rng.uniform(0.0, self.config.jitter)
-        state = self._link_state(src, dst)
-        if state is not None:
-            delay += state.extra_latency
         return delay
 
     def send(self, src: str, dst: str, size: int = 0) -> Event:
@@ -137,7 +174,18 @@ class Network:
         """
         self.messages_sent += 1
         self.bytes_sent += size
-        arrived = self.sim.event(name="msg:{}->{}".format(src, dst))
+        sim = self.sim
+        arrived = Event(sim)
+        if not self._links:
+            # Fault-free fast path: no link lookups, no drop bookkeeping.
+            if src == dst:
+                sim.schedule(0.0, arrived.succeed, None)
+                return arrived
+            delay = self.config.base_latency + size * self._inv_bandwidth
+            if self.config.jitter > 0:
+                delay += self._rng.uniform(0.0, self.config.jitter)
+            sim.schedule(delay, arrived.succeed, None)
+            return arrived
         state = self._link_state(src, dst)
         if state is not None and state.partitioned:
             self.messages_dropped += 1
@@ -145,7 +193,7 @@ class Network:
         if state is not None and state.loss > 0.0 and self._rng.random() < state.loss:
             self.messages_dropped += 1
             return arrived
-        self.sim.schedule(self.delay_for(src, dst, size), arrived.succeed, None)
+        sim.schedule(self.delay_for(src, dst, size), arrived.succeed, None)
         return arrived
 
     def roundtrip(

@@ -90,7 +90,7 @@ class Process:
     def _detach_wait(self):
         """Stop listening to whatever the process is currently waiting on."""
         if self._pending_timer is not None:
-            self._pending_timer.cancelled = True
+            self.sim.cancel(self._pending_timer)
             self._pending_timer = None
         if self._waiting_on is not None:
             waited, callback = self._waiting_on

@@ -1,0 +1,100 @@
+"""The benchmark harness: parallel determinism and the kernel microbench.
+
+The load-bearing test here is the parallel-vs-serial identity: fanning the
+same (scenario, approach, seed) cells across 4 worker processes must yield
+canonical JSON payloads byte-identical to running them serially in-process.
+Simulation results may depend only on the seed, never on worker scheduling.
+"""
+
+import pytest
+
+from repro.bench.sweep import (
+    SMOKE_OVERRIDES,
+    canonical_json,
+    default_cells,
+    make_jobs,
+    run_jobs,
+    run_sweep,
+)
+
+#: A tiny two-cell, two-seed matrix that still crosses scenario boundaries.
+_CELLS = [("hybrid_a", "remus"), ("high_contention", "remus")]
+_SEEDS = [0, 1]
+
+
+def _tiny_jobs():
+    return make_jobs(_CELLS, _SEEDS, overrides_by_scenario=SMOKE_OVERRIDES)
+
+
+def test_parallel_matches_serial_byte_for_byte():
+    jobs = _tiny_jobs()
+    serial = run_jobs(jobs, jobs_in_parallel=1)
+    parallel = run_jobs(jobs, jobs_in_parallel=4)
+    assert len(serial) == len(parallel) == len(jobs)
+    for s, p in zip(serial, parallel):
+        assert (s["scenario"], s["approach"], s["seed"]) == (
+            p["scenario"], p["approach"], p["seed"],
+        )
+        assert canonical_json(s["payload"]) == canonical_json(p["payload"])
+
+
+def test_run_sweep_verify_serial_and_aggregates():
+    payload = run_sweep(
+        _CELLS,
+        seeds=_SEEDS,
+        jobs_in_parallel=2,
+        overrides_by_scenario=SMOKE_OVERRIDES,
+        verify_serial=True,
+    )
+    assert payload["serial_identical"] is True
+    assert set(payload["cells"]) == {"hybrid_a/remus", "high_contention/remus"}
+    for cell in payload["cells"].values():
+        assert cell["seeds"] == _SEEDS
+        assert len(cell["runtime_sec"]["per_seed"]) == len(_SEEDS)
+        stats = cell["metrics"]["downtime_longest"]
+        assert stats["p5"] <= stats["mean"] <= stats["p95"]
+
+
+def test_default_cells_respect_scenario_support():
+    cells = default_cells()
+    assert ("scale_out", "squall") not in cells
+    assert ("scale_out", "remus") in cells
+    assert ("high_contention", "stop_and_copy") in cells
+    smoke = default_cells(smoke=True)
+    # Smoke keeps one approach per scenario.
+    assert len(smoke) == len({scenario for scenario, _ in smoke})
+
+
+def test_canonical_json_is_order_insensitive():
+    assert canonical_json({"b": 1, "a": [1, 2]}) == canonical_json({"a": [1, 2], "b": 1})
+
+
+@pytest.mark.bench
+def test_kernel_microbench_smoke():
+    """The fast kernel must hold >=1.5x over the frozen legacy kernel.
+
+    Marked ``bench`` because it measures wall-clock time; CI runs it in the
+    dedicated bench-smoke job rather than the unit-test matrix.
+    """
+    from repro.bench.kernel_bench import check_against_baseline, run_kernel_bench
+
+    payload = run_kernel_bench(smoke=True)
+    storm = payload["storms"]["callback_storm"]
+    assert storm["events"] == storm["legacy"]["events"], (
+        "fast and legacy kernels must execute the identical storm"
+    )
+    assert payload["speedup_vs_legacy"] >= 1.5, (
+        "kernel fast path regressed below the 1.5x bar: {}x".format(
+            payload["speedup_vs_legacy"]
+        )
+    )
+    # The baseline gate logic: identical payload never regresses vs itself.
+    assert check_against_baseline(payload, payload, max_regression=0.30) == []
+    slowed = {
+        "storms": {
+            "callback_storm": {
+                "events_per_sec": storm["events_per_sec"] * 2.0,
+            }
+        }
+    }
+    assert check_against_baseline(payload, slowed, max_regression=0.30)

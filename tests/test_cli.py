@@ -24,6 +24,12 @@ def test_experiment_requires_known_approach():
         main(["experiment", "hybrid_a", "--approach", "teleport"])
 
 
+def test_experiment_rejects_unsupported_scenario_approach_pair(capsys):
+    # squall parses (it is valid elsewhere) but scale_out does not support it.
+    assert main(["experiment", "scale_out", "--approach", "squall"]) == 2
+    assert "does not support" in capsys.readouterr().err
+
+
 def test_missing_command_errors():
     with pytest.raises(SystemExit):
         main([])

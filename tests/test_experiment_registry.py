@@ -1,0 +1,155 @@
+"""The experiment registry, result round-trip, and migration facade."""
+
+import json
+
+import pytest
+
+from repro.experiments import registry
+from repro.experiments.common import ExperimentResult
+from repro.experiments.consolidation import ConsolidationConfig
+from repro.migration import APPROACHES, Migration
+from repro.migration.base import MigrationPlan
+
+
+def test_registry_lists_all_paper_scenarios():
+    names = registry.names()
+    assert names == (
+        "hybrid_a",
+        "hybrid_b",
+        "load_balancing",
+        "scale_out",
+        "high_contention",
+    )
+
+
+def test_registry_get_unknown_scenario_names_the_choices():
+    with pytest.raises(ValueError, match="hybrid_a"):
+        registry.get("nonsense")
+
+
+def test_registry_spec_shape():
+    spec = registry.get("hybrid_b")
+    assert spec.config_cls is ConsolidationConfig
+    assert spec.default_approach == "remus"
+    # hybrid B migrates four shards per batch (§4.4).
+    assert dict(spec.config_defaults)["group_size"] == 4
+    assert "squall" in spec.approaches
+    assert "squall" not in registry.get("scale_out").approaches
+
+
+def test_registry_make_config_applies_defaults_then_overrides():
+    config = registry.make_config("hybrid_b", seed=7)
+    assert config.group_size == 4 and config.seed == 7
+    config = registry.make_config("hybrid_b", seed=7, group_size=2)
+    assert config.group_size == 2
+
+
+def test_registry_make_config_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="warp_factor"):
+        registry.make_config("hybrid_a", warp_factor=9)
+
+
+def test_registry_run_rejects_unsupported_approach():
+    with pytest.raises(ValueError, match="does not support"):
+        registry.run("scale_out", approach="squall")
+
+
+def test_registry_run_rejects_config_plus_overrides():
+    with pytest.raises(ValueError, match="not both"):
+        registry.run("hybrid_a", config=ConsolidationConfig(), group_size=3)
+
+
+def test_registry_register_rejects_duplicates():
+    registry.ensure_loaded()
+    with pytest.raises(ValueError, match="registered twice"):
+        registry.register("hybrid_a", config_cls=ConsolidationConfig)(lambda a, c: None)
+
+
+def test_deprecated_entry_points_still_work():
+    """Old run_<scenario> call sites keep working, with a warning."""
+    from repro.experiments import consolidation, high_contention, load_balancing, scale_out
+
+    for module, name in (
+        (consolidation, "run_hybrid_a"),
+        (consolidation, "run_hybrid_b"),
+        (load_balancing, "run_load_balancing"),
+        (scale_out, "run_scale_out"),
+        (high_contention, "run_high_contention"),
+    ):
+        shim = getattr(module, name)
+        assert callable(shim)
+    config = ConsolidationConfig(
+        num_tuples=600, num_shards=6, ycsb_clients=2, batch_tuples=300,
+        num_batches=1, warmup=0.5, settle=0.5, max_sim_time=40.0,
+    )
+    with pytest.deprecated_call():
+        result = consolidation.run_hybrid_a("remus", config)
+    assert result.scenario == "hybrid_a"
+
+
+def test_result_round_trip_is_exact():
+    result = ExperimentResult(
+        approach="remus",
+        scenario="hybrid_a",
+        throughput=[(0.5, 120.0), (1.0, 80.0)],
+        migration_window=(1.25, 4.5),
+        aborts={"migration": 2},
+        abort_ratio=0.1,
+        extra={"data_intact": True, "nested": {"deep": (1, 2)}},
+    )
+    payload = result.to_dict()
+    # The payload is JSON-native: encoding must not fail or lose anything.
+    assert json.loads(json.dumps(payload)) == payload
+    rebuilt = ExperimentResult.from_dict(payload)
+    assert rebuilt.to_dict() == payload
+    assert rebuilt.migration_window == (1.25, 4.5)
+
+
+def test_result_from_dict_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="bogus"):
+        ExperimentResult.from_dict({"approach": "remus", "scenario": "x", "bogus": 1})
+
+
+def test_result_to_dict_flattens_stats_objects():
+    from repro.migration.base import MigrationStats
+
+    stats = MigrationStats()
+    stats.tuples_copied = 42
+    result = ExperimentResult(approach="remus", scenario="t", extra={"plan_stats": stats})
+    payload = result.to_dict()
+    assert payload["extra"]["plan_stats"]["tuples_copied"] == 42
+    json.dumps(payload)
+
+
+def test_migration_resolve_names_and_classes():
+    for name, cls in APPROACHES.items():
+        assert Migration.resolve(name) is cls
+        assert Migration.resolve(cls) is cls
+    with pytest.raises(ValueError, match="teleport"):
+        Migration.resolve("teleport")
+
+
+def test_migration_plan_builds_a_plan():
+    plan = Migration.plan("remus", batches=[(["s0"], "node-1", "node-2")], pause=0.5)
+    assert isinstance(plan, MigrationPlan)
+    assert plan.approach_cls is Migration.resolve("remus")
+    assert plan.pause == 0.5
+
+
+def test_migration_launch_runs_a_real_migration():
+    from repro.cluster import Cluster
+    from repro.config import ClusterConfig
+
+    cluster = Cluster(ClusterConfig(num_nodes=2))
+    cluster.create_table("kv", num_shards=2, tuple_size=64)
+    cluster.bulk_load("kv", [(k, k) for k in range(60)])
+    shard = cluster.shards_on_node("node-1", table="kv")[0]
+    plan = Migration.plan("remus", batches=[([shard], "node-1", "node-2")])
+    stats = cluster.sim.run_until_complete(
+        cluster.spawn(Migration.launch(cluster, plan))
+    )
+    assert shard in cluster.shards_on_node("node-2", table="kv")
+    assert stats.tuples_copied > 0
+    payload = stats.to_dict()
+    assert payload["tuples_copied"] == stats.tuples_copied
+    json.dumps(payload)

@@ -29,9 +29,46 @@ def test_cancelled_entry_is_skipped():
     sim = Simulator()
     seen = []
     handle = sim.schedule(1.0, seen.append, "x")
-    handle.cancelled = True
+    sim.cancel(handle)
     sim.run()
     assert seen == []
+
+
+def test_cancel_is_idempotent_and_pending_count_is_live():
+    sim = Simulator()
+    handles = [sim.schedule(1.0, lambda: None) for _ in range(5)]
+    assert sim.pending_events == 5
+    sim.cancel(handles[0])
+    sim.cancel(handles[0])  # double-cancel must not double-count
+    sim.cancel(handles[3])
+    assert sim.pending_events == 3
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_run_until_executes_boundary_events_before_advancing():
+    """Events at exactly t == until run — including cascades scheduled *at*
+    the boundary by callbacks already running at t == until — in FIFO
+    order, before run() returns with now == until."""
+    sim = Simulator()
+    seen = []
+
+    def at_boundary(tag):
+        seen.append(tag)
+        if tag == "first":
+            # Scheduled during the last step, landing exactly on `until`.
+            sim.schedule(0.0, at_boundary, "cascade")
+
+    sim.schedule(1.0, at_boundary, "early")
+    sim.schedule(2.0, at_boundary, "first")
+    sim.schedule(2.0, at_boundary, "second")
+    sim.schedule(2.0 + 1e-9, seen.append, "late")
+    sim.run(until=2.0)
+    assert seen == ["early", "first", "second", "cascade"]
+    assert sim.now == 2.0
+    assert sim.pending_events == 1  # "late" still pending
+    sim.run()
+    assert seen[-1] == "late"
 
 
 def test_run_until_stops_at_time():
