@@ -25,41 +25,43 @@ def cached(key, factory):
 
 @pytest.fixture(scope="session")
 def hybrid_a_results():
-    from repro.experiments.consolidation import run_hybrid_a
+    from repro.experiments import registry
 
     def factory():
-        return {a: run_hybrid_a(a) for a in APPROACH_ORDER}
+        return {a: registry.run("hybrid_a", approach=a) for a in APPROACH_ORDER}
 
     return cached("hybrid_a", factory)
 
 
 @pytest.fixture(scope="session")
 def hybrid_b_results():
-    from repro.experiments.consolidation import run_hybrid_b
+    from repro.experiments import registry
 
     def factory():
-        return {a: run_hybrid_b(a) for a in APPROACH_ORDER}
+        return {a: registry.run("hybrid_b", approach=a) for a in APPROACH_ORDER}
 
     return cached("hybrid_b", factory)
 
 
 @pytest.fixture(scope="session")
 def load_balancing_results():
-    from repro.experiments.load_balancing import run_load_balancing
+    from repro.experiments import registry
 
     def factory():
-        return {a: run_load_balancing(a) for a in APPROACH_ORDER}
+        return {
+            a: registry.run("load_balancing", approach=a) for a in APPROACH_ORDER
+        }
 
     return cached("load_balancing", factory)
 
 
 @pytest.fixture(scope="session")
 def scale_out_results():
-    from repro.experiments.scale_out import run_scale_out
+    from repro.experiments import registry
 
     def factory():
         return {
-            a: run_scale_out(a)
+            a: registry.run("scale_out", approach=a)
             for a in ("remus", "lock_and_abort", "wait_and_remaster")
         }
 
@@ -68,9 +70,11 @@ def scale_out_results():
 
 @pytest.fixture(scope="session")
 def high_contention_result():
-    from repro.experiments.high_contention import run_high_contention
+    from repro.experiments import registry
 
-    return cached("high_contention", lambda: run_high_contention("remus"))
+    return cached(
+        "high_contention", lambda: registry.run("high_contention", approach="remus")
+    )
 
 
 def print_figure(title, results, markers_from=None):

@@ -56,7 +56,7 @@ def test_fig9_tpcc_scale_out_timeline(benchmark, scale_out_results):
 
 
 def test_fig9_squall_unsupported():
-    from repro.experiments.scale_out import run_scale_out
+    from repro.experiments import registry
 
-    with pytest.raises(NotImplementedError):
-        run_scale_out("squall")
+    with pytest.raises(ValueError, match="does not support approach 'squall'"):
+        registry.run("scale_out", approach="squall")

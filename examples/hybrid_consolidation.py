@@ -10,7 +10,8 @@ Remus touching nothing — is visible directly in the terminal.
 Run with:  python examples/hybrid_consolidation.py
 """
 
-from repro.experiments.consolidation import ConsolidationConfig, run_hybrid_a
+from repro.experiments import registry
+from repro.experiments.consolidation import ConsolidationConfig
 from repro.metrics.report import render_series, render_table
 
 
@@ -29,7 +30,7 @@ def small_config():
 def main():
     rows = []
     for approach in ("remus", "lock_and_abort"):
-        result = run_hybrid_a(approach, small_config())
+        result = registry.run("hybrid_a", approach=approach, config=small_config())
         rows.append(
             [
                 approach,

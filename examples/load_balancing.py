@@ -7,7 +7,8 @@ spreads, with zero migration-induced aborts and no downtime.
 Run with:  python examples/load_balancing.py
 """
 
-from repro.experiments.load_balancing import LoadBalancingConfig, run_load_balancing
+from repro.experiments import registry
+from repro.experiments.load_balancing import LoadBalancingConfig
 from repro.metrics.report import render_series
 
 
@@ -20,7 +21,7 @@ def main():
         settle=2.0,
         max_sim_time=60.0,
     )
-    result = run_load_balancing("remus", config)
+    result = registry.run("load_balancing", approach="remus", config=config)
     start, end = result.migration_window
     print(
         render_series(

@@ -9,7 +9,8 @@ the scale-out, with no downtime and no aborted transactions.
 Run with:  python examples/tpcc_scale_out.py
 """
 
-from repro.experiments.scale_out import ScaleOutConfig, run_scale_out
+from repro.experiments import registry
+from repro.experiments.scale_out import ScaleOutConfig
 from repro.metrics.report import render_series
 
 
@@ -23,7 +24,7 @@ def main():
         items=20,
         max_sim_time=80.0,
     )
-    result = run_scale_out("remus", config)
+    result = registry.run("scale_out", approach="remus", config=config)
     start, end = result.migration_window
     print(
         render_series(

@@ -68,13 +68,18 @@ def default_config() -> LintConfig:
     - The analysis package lints everything but itself.
     - The benchmark harness (``repro/bench``) is covered like everything
       else, except that its timing modules measure wall-clock time *by
-      definition* — kernel_bench and sweep are exempt from SIM001 only.
+      definition* — kernel_bench, txn_bench and sweep are exempt from
+      SIM001 only. The same applies to ``repro/profiling``: its whole
+      purpose is attributing host wall time, while it never feeds that
+      time back into the simulation.
     """
     exempt_self = ("*/analysis/*",)
     wall_clock_ok = (
         "*/sim/kernel.py",
         "*/bench/kernel_bench.py",
+        "*/bench/txn_bench.py",
         "*/bench/sweep.py",
+        "*/profiling/*",
     )
     return LintConfig(
         scopes={

@@ -1,0 +1,145 @@
+"""FROZEN pre-fast-path transaction-layer reference. DO NOT OPTIMIZE.
+
+Faithful copies of the MVCC visibility generators, heap read path and row
+lock table as they stood before the transaction fast path landed (no hint
+bits, no snapshot caching, generator sub-frames on every visibility check,
+a named event per lock acquire). :mod:`repro.bench.txn_bench` runs the same
+storms against these and against the live modules; the ratio is the
+speedup number the CI gate pins.
+
+Kept separate from the live code on purpose, mirroring
+:mod:`repro.bench._legacy_kernel`: the live modules will keep evolving,
+and the benchmark needs a stable "before" to compare against.
+"""
+
+from collections import deque
+
+from repro.storage.clog import TxnStatus
+
+
+class LegacyTupleVersion:
+    """Pre-hint-bit tuple header: no ``cts_min``/``cts_max`` slots."""
+
+    __slots__ = ("key", "value", "xmin", "xmax")
+
+    def __init__(self, key, value, xmin, xmax=None):
+        self.key = key
+        self.value = value
+        self.xmin = xmin
+        self.xmax = xmax
+
+
+class LegacySnapshot:
+    __slots__ = ("start_ts", "xid")
+
+    def __init__(self, start_ts, xid=None):
+        self.start_ts = start_ts
+        self.xid = xid
+
+
+def legacy_creation_visible(version, snapshot, clog):
+    """Generator: the pre-fast-path creation-visibility check."""
+    if snapshot.xid is not None and version.xmin == snapshot.xid:
+        return True
+    while True:
+        status = clog.status(version.xmin)
+        if status is TxnStatus.ABORTED:
+            return False
+        if status is TxnStatus.IN_PROGRESS:
+            return False
+        if status is TxnStatus.PREPARED:
+            if not clog.prepare_wait_enabled:
+                return False
+            yield clog.wait_completion(version.xmin)
+            continue
+        return clog.commit_ts(version.xmin) <= snapshot.start_ts
+
+
+def legacy_deletion_visible(version, snapshot, clog):
+    """Generator: the pre-fast-path deletion-visibility check."""
+    if version.xmax is None:
+        return False
+    if snapshot.xid is not None and version.xmax == snapshot.xid:
+        return True
+    while True:
+        status = clog.status(version.xmax)
+        if status in (TxnStatus.ABORTED, TxnStatus.IN_PROGRESS):
+            return False
+        if status is TxnStatus.PREPARED:
+            if not clog.prepare_wait_enabled:
+                return False
+            yield clog.wait_completion(version.xmax)
+            continue
+        return clog.commit_ts(version.xmax) <= snapshot.start_ts
+
+
+class LegacyHeapTable:
+    """The pre-fast-path MVCC read path: generator frames per version."""
+
+    def __init__(self, clog):
+        self.clog = clog
+        self._chains = {}
+
+    def put_version(self, key, value, xmin):
+        version = LegacyTupleVersion(key, value, xmin)
+        self._chains.setdefault(key, []).insert(0, version)
+        return version
+
+    def chain(self, key):
+        return self._chains.get(key, [])
+
+    def visible_version(self, key, snapshot):
+        traversed = 0
+        for version in list(self.chain(key)):
+            traversed += 1
+            created = yield from legacy_creation_visible(version, snapshot, self.clog)
+            if not created:
+                continue
+            deleted = yield from legacy_deletion_visible(version, snapshot, self.clog)
+            if deleted:
+                return None, traversed
+            return version, traversed
+        return None, traversed
+
+    def read(self, key, snapshot):
+        version, traversed = yield from self.visible_version(key, snapshot)
+        if version is None:
+            return None, traversed
+        return version.value, traversed
+
+
+class LegacyRowLockTable:
+    """The pre-fast-path row lock table: one named event per acquire."""
+
+    def __init__(self, sim, name=""):
+        self.sim = sim
+        self.name = name
+        self._owners = {}
+        self._queues = {}
+
+    def acquire(self, key, owner):
+        event = self.sim.event(name="rowlock:{}:{}".format(self.name, key))
+        current = self._owners.get(key)
+        if current is None:
+            self._owners[key] = owner
+            event.succeed(None)
+        elif current == owner:
+            event.succeed(None)
+        else:
+            self._queues.setdefault(key, deque()).append((owner, event))
+        return event
+
+    def release(self, key, owner):
+        queue = self._queues.get(key)
+        while queue:
+            next_owner, event = queue.popleft()
+            if event.triggered:
+                continue
+            self._owners[key] = next_owner
+            event.succeed(None)
+            if not queue:
+                del self._queues[key]
+            return
+        if queue is not None and not queue:
+            del self._queues[key]
+        del self._owners[key]

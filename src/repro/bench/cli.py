@@ -1,10 +1,11 @@
 """``repro bench`` and ``repro sweep``: the benchmark harness entry points.
 
-``repro bench`` runs the kernel microbenchmark (and, unless skipped, a
-seed sweep over the experiment cells) and writes ``BENCH_kernel.json`` and
-``BENCH_experiments.json``. With ``--baseline`` it gates the kernel's
-events/sec against a committed baseline file — the CI smoke job fails a PR
-that regresses the hot loop by more than ``--max-regression``.
+``repro bench`` runs the kernel and transaction-layer microbenchmarks
+(and, unless skipped, a seed sweep over the experiment cells) and writes
+``BENCH_kernel.json``, ``BENCH_txn.json`` and ``BENCH_experiments.json``.
+With ``--baseline`` / ``--baseline-txn`` it gates each storm's events/sec
+against a committed baseline file — the CI smoke job fails a PR that
+regresses a hot loop by more than ``--max-regression``.
 
 ``repro sweep`` is the standalone fan-out: seeds x (scenario, approach)
 cells across a worker pool, with ``--verify-serial`` proving byte-identical
@@ -19,6 +20,7 @@ import sys
 
 from repro.bench.kernel_bench import check_against_baseline, run_kernel_bench
 from repro.bench.sweep import SMOKE_OVERRIDES, default_cells, run_sweep
+from repro.bench.txn_bench import run_txn_bench
 from repro.experiments import registry
 
 
@@ -51,6 +53,11 @@ def add_bench_arguments(parser):
         help="committed BENCH_kernel.json to gate events/sec against",
     )
     parser.add_argument(
+        "--baseline-txn",
+        default=None,
+        help="committed BENCH_txn.json to gate txn storm events/sec against",
+    )
+    parser.add_argument(
         "--max-regression",
         type=float,
         default=0.30,
@@ -77,11 +84,29 @@ def run_bench_command(args):
     )
     print("wrote {}".format(kernel_path))
 
+    txn = run_txn_bench(smoke=args.smoke, repeats=args.repeats)
+    txn_path = os.path.join(args.out_dir, "BENCH_txn.json")
+    _write_json(txn_path, txn)
+    for name, storm in sorted(txn["storms"].items()):
+        print(
+            "txn {:<22} {:,.0f} events/s (legacy {:,.0f}) -> {:.2f}x".format(
+                name,
+                storm["events_per_sec"],
+                storm["legacy"]["events_per_sec"],
+                storm["speedup"],
+            )
+        )
+    print("wrote {}".format(txn_path))
+
     status = 0
-    if args.baseline:
-        with open(args.baseline) as handle:
+    # The kernel and txn payloads share one shape (storms -> events_per_sec),
+    # so a single gate function covers both.
+    for payload, baseline_path in ((kernel, args.baseline), (txn, args.baseline_txn)):
+        if not baseline_path:
+            continue
+        with open(baseline_path) as handle:
             baseline = json.load(handle)
-        failures = check_against_baseline(kernel, baseline, args.max_regression)
+        failures = check_against_baseline(payload, baseline, args.max_regression)
         for failure in failures:
             print("REGRESSION {}".format(failure), file=sys.stderr)
         if failures:

@@ -1,0 +1,263 @@
+"""Transaction-layer microbenchmarks: the fast path vs the frozen legacy.
+
+Three storms, each isolating one tentpole of the transaction fast path:
+
+- ``visibility_storm`` — MVCC point reads over version chains seeded with
+  committed / aborted / superseded / in-progress writers. The driver
+  exhausts the read generators directly (no simulator events), so the
+  number is pure visibility-check CPU. Runs against the frozen
+  pre-fast-path read path (:mod:`repro.bench._legacy_txn`); hint bits +
+  the non-blocking check make repeat reads skip the CLOG and the
+  per-version generator frames, and CI pins the speedup at >= 2x.
+- ``commit_storm`` — aligned committers appending commit records and
+  flushing the WAL on one node. Exercises group commit
+  (:class:`repro.storage.wal.FlushCoalescer`): N same-instant flushes
+  collapse into 2 kernel events. The reference run disables the
+  ``group_commit`` flag.
+- ``contended_lock_storm`` — workers hammering one hot row plus private
+  rows. Exercises the O(1) uncontended lock fast path against the frozen
+  always-allocate-a-named-event lock table.
+
+``repro bench`` serializes the payload as ``BENCH_txn.json`` next to
+``BENCH_kernel.json`` and gates both against committed baselines.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import fastpath
+from repro.bench._legacy_txn import (
+    LegacyHeapTable,
+    LegacyRowLockTable,
+    LegacySnapshot,
+)
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+from repro.storage.clog import Clog
+from repro.storage.heap import HeapTable
+from repro.storage.snapshot import Snapshot
+from repro.storage.wal import Wal, WalRecord, WalRecordKind
+from repro.txn.manager import NodeTxnManager
+
+#: (keys, rounds) / (committers, rounds) / (workers, rounds) per mode.
+_VISIBILITY_SCALE = {"smoke": (200, 30), "full": (600, 120)}
+_COMMIT_SCALE = {"smoke": (24, 60), "full": (64, 250)}
+_LOCK_SCALE = {"smoke": (16, 120), "full": (48, 400)}
+
+#: Snapshot timestamp and the writer population for the visibility storm.
+_SNAPSHOT_TS = 15
+_XID_OLD_COMMIT = 1  # committed at ts 10 (visible)
+_XID_NEW_COMMIT = 2  # committed at ts 20 (after the snapshot)
+_XID_ABORTED = 3
+_XID_IN_PROGRESS = 4
+
+
+def _drain(generator):
+    """Exhaust a visibility generator that never actually blocks."""
+    while True:
+        try:
+            next(generator)
+        except StopIteration as stop:
+            return stop.value
+
+
+def _seed_clog(sim) -> Clog:
+    clog = Clog(sim, "bench")
+    for xid in (_XID_OLD_COMMIT, _XID_NEW_COMMIT, _XID_ABORTED, _XID_IN_PROGRESS):
+        clog.begin(xid)
+    clog.set_committed(_XID_OLD_COMMIT, 10)
+    clog.set_committed(_XID_NEW_COMMIT, 20)
+    clog.set_aborted(_XID_ABORTED)
+    return clog
+
+
+def _seed_chains(heap, keys: int) -> None:
+    """Long version chains mixing every writer fate, newest first.
+
+    This is the shape vacuum-held chains take during a migration snapshot
+    scan (the paper's Figure 10 regime): a stack of aborted and
+    after-snapshot versions a reader must wade through before reaching the
+    visible base. Walk order per key: [in-progress (every 8th key),
+    4 x aborted, 2 x committed-after-snapshot, visible base (superseded
+    after the snapshot)].
+    """
+    for index in range(keys):
+        base = heap.put_version(index, {"f0": index}, _XID_OLD_COMMIT)
+        base.xmax = _XID_NEW_COMMIT  # superseded, but after our snapshot
+        heap.put_version(index, {"f0": index + 1}, _XID_NEW_COMMIT)
+        heap.put_version(index, {"f0": index + 2}, _XID_NEW_COMMIT)
+        for junk in range(4):
+            heap.put_version(index, {"f0": -junk}, _XID_ABORTED)
+        if index % 8 == 0:
+            heap.put_version(index, {"f0": -2}, _XID_IN_PROGRESS)
+
+
+def _visibility_fast(keys: int, rounds: int) -> int:
+    sim = Simulator(seed=0)
+    clog = _seed_clog(sim)
+    heap = HeapTable(sim, clog)
+    _seed_chains(heap, keys)
+    snapshot = Snapshot(_SNAPSHOT_TS)
+    reads = 0
+    for _ in range(rounds):
+        for key in range(keys):
+            value, _traversed = _drain(heap.read(key, snapshot))
+            if value is None:
+                raise AssertionError("visibility storm must see the base version")
+            reads += 1
+    return reads
+
+
+def _visibility_legacy(keys: int, rounds: int) -> int:
+    sim = Simulator(seed=0)
+    clog = _seed_clog(sim)
+    heap = LegacyHeapTable(clog)
+    _seed_chains(heap, keys)
+    snapshot = LegacySnapshot(_SNAPSHOT_TS)
+    reads = 0
+    for _ in range(rounds):
+        for key in range(keys):
+            value, _traversed = _drain(heap.read(key, snapshot))
+            if value is None:
+                raise AssertionError("visibility storm must see the base version")
+            reads += 1
+    return reads
+
+
+class _FlushCosts:
+    """Minimal cost table for the commit storm's manager."""
+
+    wal_flush = 5e-5
+
+
+def _commit_storm(committers: int, rounds: int) -> int:
+    sim = Simulator(seed=0)
+    manager = NodeTxnManager(
+        sim,
+        "bench",
+        Clog(sim, "bench"),
+        Wal(sim, "bench"),
+        None,
+        _FlushCosts(),
+        lambda shard_id: None,
+    )
+    flushed = [0]
+
+    def committer(xid: int):
+        for _ in range(rounds):
+            manager.wal.append(WalRecord(WalRecordKind.COMMIT, xid=xid))
+            yield from manager.flush_wal()
+            flushed[0] += 1
+
+    for index in range(committers):
+        sim.spawn(committer(index), name="committer")
+    sim.run()
+    return flushed[0]
+
+
+def _commit_storm_legacy(committers: int, rounds: int) -> int:
+    with fastpath.overridden(group_commit=False):
+        return _commit_storm(committers, rounds)
+
+
+def _lock_key(owner: int, round_index: int):
+    if round_index % 4 == 0:
+        return "hot"
+    return (owner, round_index % 8)
+
+
+def _lock_storm_fast(workers: int, rounds: int) -> int:
+    from repro.txn.locks import RowLockTable
+
+    sim = Simulator(seed=0)
+    table = RowLockTable(sim, name="bench")
+    acquired = [0]
+
+    def worker(owner: int):
+        for round_index in range(rounds):
+            key = _lock_key(owner, round_index)
+            if fastpath.lock_fastpath and table.try_acquire(key, owner):
+                event = Event(sim)
+                event.succeed(None)
+                yield event
+            else:
+                yield table.acquire(key, owner)
+            acquired[0] += 1
+            yield 0.0  # hold across a tick so the hot key actually queues
+            table.release(key, owner)
+
+    for owner in range(workers):
+        sim.spawn(worker(owner), name="locker")
+    sim.run()
+    return acquired[0]
+
+
+def _lock_storm_legacy(workers: int, rounds: int) -> int:
+    sim = Simulator(seed=0)
+    table = LegacyRowLockTable(sim, name="bench")
+    acquired = [0]
+
+    def worker(owner: int):
+        for round_index in range(rounds):
+            key = _lock_key(owner, round_index)
+            yield table.acquire(key, owner)
+            acquired[0] += 1
+            yield 0.0
+            table.release(key, owner)
+
+    for owner in range(workers):
+        sim.spawn(worker(owner), name="locker")
+    sim.run()
+    return acquired[0]
+
+
+def _measure(storm, a: int, b: int, repeats: int = 3) -> dict:
+    """Best-of-``repeats`` wall-clock measurement of one storm."""
+    best = None
+    events = 0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        events = storm(a, b)
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return {
+        "events": events,
+        "seconds": round(best, 6),
+        "events_per_sec": round(events / best, 1),
+    }
+
+
+def _versus(fast: dict, legacy: dict) -> dict:
+    speedup = fast["events_per_sec"] / legacy["events_per_sec"]
+    return dict(fast, legacy=legacy, speedup=round(speedup, 3))
+
+
+def run_txn_bench(smoke: bool = False, repeats: int = 3) -> dict:
+    """Run every storm; returns the ``BENCH_txn.json`` payload."""
+    mode = "smoke" if smoke else "full"
+    visibility = _versus(
+        _measure(_visibility_fast, *_VISIBILITY_SCALE[mode], repeats=repeats),
+        _measure(_visibility_legacy, *_VISIBILITY_SCALE[mode], repeats=repeats),
+    )
+    commit = _versus(
+        _measure(_commit_storm, *_COMMIT_SCALE[mode], repeats=repeats),
+        _measure(_commit_storm_legacy, *_COMMIT_SCALE[mode], repeats=repeats),
+    )
+    locks = _versus(
+        _measure(_lock_storm_fast, *_LOCK_SCALE[mode], repeats=repeats),
+        _measure(_lock_storm_legacy, *_LOCK_SCALE[mode], repeats=repeats),
+    )
+    return {
+        "bench": "txn",
+        "mode": mode,
+        "python": "{}.{}.{}".format(*sys.version_info[:3]),
+        "storms": {
+            "visibility_storm": visibility,
+            "commit_storm": commit,
+            "contended_lock_storm": locks,
+        },
+        "speedup_vs_legacy": visibility["speedup"],
+    }

@@ -13,7 +13,6 @@ so dependent transactions order correctly even under clock skew.
 """
 
 from repro.sim.events import AllOf
-from repro.storage.snapshot import Snapshot
 from repro.txn.errors import TransactionError
 from repro.txn.locks import SharedExclusiveLockTable
 from repro.txn.transaction import Transaction, TxnState
@@ -123,7 +122,7 @@ class Session:
             node = self.cluster.nodes[participant.node_id]
             node.clog.set_committed(participant.xid, txn.start_ts)
             node.manager._release_locks(participant)
-            node.manager.active_xids.discard(participant.xid)
+            node.manager.discard_active(participant.xid)
         txn.commit_ts = txn.start_ts
         txn.state = TxnState.COMMITTED
         self.cluster.finish_txn(txn, committed=True)
@@ -135,7 +134,7 @@ class Session:
             node = self.cluster.nodes[participant.node_id]
             node.clog.set_committed(participant.xid, commit_ts)
             node.manager._release_locks(participant)
-            node.manager.active_xids.discard(participant.xid)
+            node.manager.discard_active(participant.xid)
 
     def _prepare_one(self, txn, participant):
         """Prepare one participant; returns (ok, ack_ts) / (False, error)."""
@@ -309,7 +308,7 @@ class Session:
                 self.node.shardmap_heap,
                 self.node.clog,
                 shard_id,
-                Snapshot(txn.start_ts),
+                txn.plain_snapshot(),
             )
             cache.maybe_update(shard_id, owner, cts)
             return owner
@@ -320,6 +319,6 @@ class Session:
                 self.node.shardmap_heap,
                 self.node.clog,
                 shard_id,
-                Snapshot(txn.start_ts),
+                txn.plain_snapshot(),
             )
         return owner

@@ -10,7 +10,6 @@ while the hybrid workload runs. Reproduces:
 - rows of **Table 3** — latency increase for hybrid A and B.
 """
 
-import warnings
 from dataclasses import dataclass
 
 from repro.experiments import registry
@@ -216,28 +215,3 @@ def _hybrid_b(approach, config=None):
     result.extra["analytical_aborted"] = analytical.aborted
     result.extra["data_intact"] = len(cluster.dump_table("ycsb")) == config.num_tuples
     return result
-
-
-# ----------------------------------------------------------------------
-# Deprecated entry points, kept for callers predating the registry.
-# ----------------------------------------------------------------------
-def run_hybrid_a(approach, config=None):
-    """Deprecated: use ``repro.experiments.registry.run("hybrid_a", ...)``."""
-    warnings.warn(
-        "run_hybrid_a() is deprecated; use "
-        "repro.experiments.registry.run('hybrid_a', approach=..., config=...)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _hybrid_a(approach, config)
-
-
-def run_hybrid_b(approach, config=None):
-    """Deprecated: use ``repro.experiments.registry.run("hybrid_b", ...)``."""
-    warnings.warn(
-        "run_hybrid_b() is deprecated; use "
-        "repro.experiments.registry.run('hybrid_b', approach=..., config=...)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _hybrid_b(approach, config)

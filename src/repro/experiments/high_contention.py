@@ -13,7 +13,6 @@ that shard. Reproduced effects:
   dual execution window is short).
 """
 
-import warnings
 from dataclasses import dataclass
 
 from repro.experiments import registry
@@ -155,14 +154,3 @@ def _high_contention(approach="remus", config=None):
     result.extra["copy_window"] = (copy_start, copy_end)
     result.extra["data_intact"] = len(cluster.dump_table("hot")) == config.shard_tuples
     return result
-
-
-def run_high_contention(approach="remus", config=None):
-    """Deprecated: use ``repro.experiments.registry.run("high_contention", ...)``."""
-    warnings.warn(
-        "run_high_contention() is deprecated; use "
-        "repro.experiments.registry.run('high_contention', approach=..., config=...)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _high_contention(approach, config)

@@ -9,7 +9,6 @@ drops and fluctuates because of pull blocking and shard-lock contention on
 the hot shards.
 """
 
-import warnings
 from dataclasses import dataclass
 
 from repro.experiments import registry
@@ -132,14 +131,3 @@ def _load_balancing(approach, config=None):
     result.extra["data_intact"] = len(cluster.dump_table("ycsb")) == config.num_tuples
     result.extra["plan_stats"] = plan.stats
     return result
-
-
-def run_load_balancing(approach, config=None):
-    """Deprecated: use ``repro.experiments.registry.run("load_balancing", ...)``."""
-    warnings.warn(
-        "run_load_balancing() is deprecated; use "
-        "repro.experiments.registry.run('load_balancing', approach=..., config=...)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _load_balancing(approach, config)

@@ -130,9 +130,22 @@ def ensure_loaded():
 
 
 def names():
-    """Registered scenario names, in registration (paper) order."""
+    """Registered scenario names, in paper order.
+
+    Insertion order in ``_REGISTRY`` depends on which module happened to be
+    imported first (a test importing ``high_contention`` directly registers
+    it before ``ensure_loaded`` walks the canonical list), so presentation
+    order is pinned to ``_EXPERIMENT_MODULES`` instead. The sort is stable:
+    scenarios from one module keep their top-to-bottom registration order.
+    """
     ensure_loaded()
-    return tuple(_REGISTRY)
+    rank = {module: index for index, module in enumerate(_EXPERIMENT_MODULES)}
+    return tuple(
+        sorted(
+            _REGISTRY,
+            key=lambda name: rank.get(_REGISTRY[name].runner.__module__, len(rank)),
+        )
+    )
 
 
 def get(name):

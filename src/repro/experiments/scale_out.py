@@ -10,7 +10,6 @@ transfer and waits on longer TPC-C transactions). Squall is not shown — as
 in the paper, the port does not support multi-key range partitioning.
 """
 
-import warnings
 from dataclasses import dataclass
 
 from repro.cluster.shard import ShardId
@@ -161,14 +160,3 @@ def _scale_out(approach, config=None):
     result.extra["new_node_shards"] = len(cluster.shards_on_node(new_node))
     result.extra["plan_stats"] = plan.stats
     return result
-
-
-def run_scale_out(approach, config=None):
-    """Deprecated: use ``repro.experiments.registry.run("scale_out", ...)``."""
-    warnings.warn(
-        "run_scale_out() is deprecated; use "
-        "repro.experiments.registry.run('scale_out', approach=..., config=...)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _scale_out(approach, config)

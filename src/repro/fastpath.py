@@ -1,0 +1,76 @@
+"""Global switches for the transaction-layer fast paths.
+
+Every optimization in this module's purview is *semantics-preserving*: with a
+flag on or off the simulated timeline must be byte-identical (proven by
+``tests/test_fastpath_equivalence.py``). The flags exist so that
+
+- the equivalence tests can run every scenario with the optimizations
+  disabled and compare canonical timelines against the fast runs, and
+- the txn microbenchmarks (``repro.bench.txn_bench``) can attribute their
+  speedup to specific mechanisms instead of asserting it.
+
+The flags are plain module globals so the hot paths pay a single attribute
+load to consult them (no dataclass indirection, no function call).
+
+Flags
+-----
+``clog_hints``
+    Stamp PostgreSQL-style visibility hints (the creating/deleting
+    transaction's resolved commit timestamp, or an ABORTED marker) on tuple
+    headers, so repeat visibility checks skip the CLOG entirely.
+``snapshot_cache``
+    Reuse one :class:`~repro.storage.snapshot.Snapshot` object per
+    (transaction, node) and share epoch-tagged read snapshots instead of
+    rebuilding the active-xid set per transaction.
+``group_commit``
+    Coalesce WAL flushes completing at the same simulated instant into one
+    flush event with a single cost-model charge (per-record LSNs are
+    assigned at append time and unaffected).
+``lock_fastpath``
+    O(1) uncontended lock acquire/release with no event allocation and no
+    queue scan; contended requests take the FIFO slow path unchanged.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+clog_hints: bool = True
+snapshot_cache: bool = True
+group_commit: bool = True
+lock_fastpath: bool = True
+
+_FLAG_NAMES = ("clog_hints", "snapshot_cache", "group_commit", "lock_fastpath")
+
+
+def flags() -> dict:
+    """Current flag values as a dict (for reports and tests)."""
+    return {name: globals()[name] for name in _FLAG_NAMES}
+
+
+def configure(**values: bool) -> dict:
+    """Set flags by name; returns the previous values of the touched flags."""
+    previous = {}
+    for name, value in values.items():
+        if name not in _FLAG_NAMES:
+            raise ValueError(
+                "unknown fast-path flag {!r}; known: {}".format(name, _FLAG_NAMES)
+            )
+        previous[name] = globals()[name]
+        globals()[name] = bool(value)
+    return previous
+
+
+@contextmanager
+def overridden(**values: bool):
+    """Context manager: temporarily set flags, restoring them on exit."""
+    previous = configure(**values)
+    try:
+        yield
+    finally:
+        configure(**previous)
+
+
+def all_disabled():
+    """Context manager: run with every fast path off (the legacy paths)."""
+    return overridden(**{name: False for name in _FLAG_NAMES})

@@ -157,7 +157,7 @@ class InvariantChecker:
                     for participant in shadow.participants.values():
                         referenced.add((participant.node_id, participant.xid))
         for node_id, node in self.cluster.nodes.items():
-            for xid, status in node.clog._status.items():
+            for xid, status in node.clog.statuses():
                 key = "prepared:{}:{}".format(node_id, xid)
                 if status is not TxnStatus.PREPARED:
                     self._suspects.pop(key, None)

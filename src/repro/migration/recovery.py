@@ -18,7 +18,6 @@ the paper describes:
 """
 
 from repro.storage.clog import TxnStatus
-from repro.storage.snapshot import Snapshot
 from repro.txn.errors import MigrationAbort
 from repro.txn.transaction import TxnState
 
@@ -129,7 +128,7 @@ def recover_migration(cluster, migration, residual_shadows=None):
     for shard_id in migration.shard_ids:
         cluster.record_ownership(shard_id, migration.dest)
     repair_ts = yield from cluster.oracle.start_timestamp(migration.source)
-    snapshot = Snapshot(repair_ts)
+    snapshot = source_node.manager.read_snapshot(repair_ts)
     for shard_id in migration.shard_ids:
         source_heap = source_node.heap_for(shard_id)
         dest_heap = dest_node.heap_for(shard_id)

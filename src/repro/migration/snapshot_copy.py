@@ -10,7 +10,6 @@ this is what lets version chains grow (the paper's Figure 10 effect).
 """
 
 from repro.sim.errors import Interrupt
-from repro.storage.snapshot import Snapshot
 from repro.txn.errors import RpcAbort
 
 _BATCH_TUPLES = 256
@@ -26,7 +25,10 @@ def copy_shard_snapshot(cluster, shard_id, source, dest, snapshot_ts, stats):
     heap = source_node.heap_for(shard_id)
     tuple_size = cluster.tables[shard_id.table].tuple_size if shard_id.table in cluster.tables else 64
     costs = cluster.config.costs
-    snapshot = Snapshot(snapshot_ts)
+    # Shared epoch-tagged snapshot from the source's manager: carries the
+    # active-xid set for introspection and is reused by concurrent readers
+    # at the same timestamp instead of allocating per scan.
+    snapshot = source_node.manager.read_snapshot(snapshot_ts)
 
     copied = 0
     keys = sorted(heap.keys())

@@ -1,0 +1,21 @@
+"""Deterministic profiling: fast-path counters and wall-clock attribution.
+
+Two complementary facilities live here:
+
+- :mod:`repro.profiling.counters` — plain-integer counters the transaction
+  fast paths bump (hint hits, snapshot cache hits, flush coalescing, lock
+  fast acquires). Zero simulator interaction, always safe to leave on.
+- :mod:`repro.profiling.profiler` — a wall-clock profiler that wraps a
+  simulation run and attributes host CPU time to subsystems (kernel, txn,
+  storage, network, migration, ...) by inspecting the generator stack of
+  each resumed process. It observes the event loop from the outside, so it
+  has **zero effect on the simulated timeline**: same events, same order,
+  same results, profiled or not.
+
+``repro profile <scenario>`` is the CLI entry point.
+"""
+
+from repro.profiling.counters import COUNTERS, FastPathCounters
+from repro.profiling.profiler import Profiler, format_report
+
+__all__ = ["COUNTERS", "FastPathCounters", "Profiler", "format_report"]

@@ -1,0 +1,76 @@
+"""Zero-sim-time-overhead fast-path counters.
+
+The transaction-layer fast paths (``repro.fastpath``) bump these plain
+integer attributes as they run. Incrementing a counter never touches the
+simulator — no events, no virtual time, no RNG draws — so the counts can
+stay on in production runs and feed both ``repro profile`` reports and the
+txn microbenchmarks without perturbing any timeline.
+
+The counters are deliberately coarse: one increment per *operation* (e.g.
+per ``visible_version`` call), not per version traversed, to keep the cost
+negligible next to the work being counted. Derived rates (hint hit ratio,
+flush coalescing factor) are computed at report time.
+"""
+
+from __future__ import annotations
+
+
+class FastPathCounters:
+    """A bag of monotonically increasing integers. No sim interaction."""
+
+    __slots__ = (
+        "visibility_checks",
+        "visibility_versions",
+        "visibility_probes",
+        "hint_stamps",
+        "clog_slow_lookups",
+        "snapshot_cache_hits",
+        "snapshot_cache_misses",
+        "shared_snapshot_hits",
+        "shared_snapshot_misses",
+        "wal_flushes",
+        "wal_flush_groups",
+        "wal_flush_joins",
+        "lock_fast_acquires",
+        "lock_slow_acquires",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def to_dict(self) -> dict:
+        raw = {name: getattr(self, name) for name in self.__slots__}
+        raw["derived"] = self.derived()
+        return raw
+
+    def derived(self) -> dict:
+        """Ratios a report wants: hit rates and coalescing factors."""
+        out = {}
+        if self.visibility_versions:
+            # Every traversed version is at least one creation-visibility
+            # probe; only hint misses reach the CLOG. (``visibility_probes``
+            # counts just the fallback calls, so it cannot be the base.)
+            out["hint_hit_ratio"] = round(
+                1.0 - self.clog_slow_lookups / self.visibility_versions, 4
+            )
+        snap_total = self.snapshot_cache_hits + self.snapshot_cache_misses
+        if snap_total:
+            out["snapshot_cache_hit_ratio"] = round(
+                self.snapshot_cache_hits / snap_total, 4
+            )
+        if self.wal_flushes:
+            out["wal_flush_coalesced_ratio"] = round(
+                self.wal_flush_joins / self.wal_flushes, 4
+            )
+        lock_total = self.lock_fast_acquires + self.lock_slow_acquires
+        if lock_total:
+            out["lock_fast_ratio"] = round(self.lock_fast_acquires / lock_total, 4)
+        return out
+
+
+#: The process-wide counter instance hot paths increment.
+COUNTERS = FastPathCounters()

@@ -70,6 +70,26 @@ class Event:
         for callback in callbacks:
             self.sim.schedule(0.0, callback, self)
 
+    def succeed_inline(self, value: Any = None) -> "Event":
+        """Complete the event, running every waiter callback *synchronously*.
+
+        Equivalent to :meth:`succeed` when called from inside a scheduled
+        callback at the exact (time, seq) slot where the waiters would have
+        resumed anyway: the waiters run now, in registration order, instead
+        of through one zero-delay heap entry each. The WAL group-commit
+        close timer uses this so a batch of N joiners costs one kernel
+        event rather than N.
+        """
+        if self._done:
+            raise SimulationError("event {!r} triggered twice".format(self.name))
+        self._done = True
+        self._value = value
+        self._exception = None
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+        return self
+
     def add_callback(self, callback: Callable[["Event"], object]) -> None:
         """Register ``callback(event)``; fires immediately if already done."""
         if self._done:

@@ -44,6 +44,12 @@ class Simulator:
     the event heap plus seeded RNG streams handed out by :meth:`rng`.
     """
 
+    #: Set by :class:`repro.profiling.Profiler` while active. Checked once
+    #: per :meth:`run` call (zero per-event cost when profiling is off) and
+    #: once per :meth:`step`. Class-level so the hook needs no per-instance
+    #: state and survives simulator re-creation inside a profiled block.
+    _active_profiler: Any = None
+
     def __init__(self, seed: int = 0) -> None:
         self.now: float = 0.0
         self._heap: list[ScheduledCall] = []
@@ -95,6 +101,7 @@ class Simulator:
     def step(self) -> bool:
         """Execute the next scheduled call. Returns False when idle."""
         heap = self._heap
+        profiler = Simulator._active_profiler
         while heap:
             entry = heapq.heappop(heap)
             callback = entry[_CALLBACK]
@@ -102,7 +109,10 @@ class Simulator:
                 self._cancelled -= 1
                 continue
             self.now = entry[_TIME]
-            callback(*entry[_ARGS])
+            if profiler is None:
+                callback(*entry[_ARGS])
+            else:
+                profiler.dispatch(callback, entry[_ARGS])
             return True
         return False
 
@@ -114,6 +124,8 @@ class Simulator:
         before the call returns; only then does ``now`` advance to
         ``until``.
         """
+        if Simulator._active_profiler is not None:
+            return self._run_profiled(until)
         heap = self._heap
         pop = heapq.heappop
         if until is None:
@@ -137,6 +149,40 @@ class Simulator:
             pop(heap)
             self.now = entry[_TIME]
             entry[_CALLBACK](*entry[_ARGS])
+        if until > self.now:
+            self.now = until
+        return self.now
+
+    def _run_profiled(self, until: float | None) -> float:
+        """The :meth:`run` loop with every dispatch routed through the
+        active profiler. Identical pop order, time advancement and boundary
+        semantics — the profiler only wraps the callback invocation."""
+        profiler = Simulator._active_profiler
+        profiler.last_sim = self
+        dispatch = profiler.dispatch
+        heap = self._heap
+        pop = heapq.heappop
+        if until is None:
+            while heap:
+                entry = pop(heap)
+                callback = entry[_CALLBACK]
+                if callback is None:
+                    self._cancelled -= 1
+                    continue
+                self.now = entry[_TIME]
+                dispatch(callback, entry[_ARGS])
+            return self.now
+        while heap:
+            entry = heap[0]
+            if entry[_CALLBACK] is None:
+                pop(heap)
+                self._cancelled -= 1
+                continue
+            if entry[_TIME] > until:
+                break
+            pop(heap)
+            self.now = entry[_TIME]
+            dispatch(entry[_CALLBACK], entry[_ARGS])
         if until > self.now:
             self.now = until
         return self.now

@@ -5,6 +5,14 @@ timestamp next to its status (§2.2). The special PREPARED status implements
 the *prepare-wait* mechanism: a reader that encounters a version created by a
 prepared transaction must wait for that transaction to complete before it can
 decide visibility. :meth:`Clog.wait_completion` provides exactly that hook.
+
+Layout note: status and commit timestamp are stored side by side in one
+entry table (as in PolarDB-PG's extended CLOG page format), so resolving a
+committed writer — status probe followed by its timestamp — costs a single
+dictionary lookup via :meth:`Clog.entry`. Repeat lookups for the same writer
+are usually avoided entirely: visibility checks stamp resolved outcomes onto
+the tuple headers as hint bits (see :mod:`repro.storage.tuples`), and the
+CLOG is consulted only the first time an xid's fate is needed.
 """
 
 import enum
@@ -17,6 +25,13 @@ class TxnStatus(enum.Enum):
     ABORTED = "aborted"
 
 
+#: Entry tuples for states that carry no commit timestamp, interned so
+#: ``begin``/``set_prepared``/``set_aborted`` allocate nothing.
+_IN_PROGRESS_ENTRY = (TxnStatus.IN_PROGRESS, None)
+_PREPARED_ENTRY = (TxnStatus.PREPARED, None)
+_ABORTED_ENTRY = (TxnStatus.ABORTED, None)
+
+
 class Clog:
     """Per-node transaction status table with completion wait events."""
 
@@ -27,22 +42,33 @@ class Clog:
         # consistent across nodes; the flag exists only for the ablation
         # that demonstrates SI violations without it.
         self.prepare_wait_enabled = True
-        self._status = {}
-        self._commit_ts = {}
+        self._entries = {}  # xid -> (TxnStatus, commit_ts | None)
         self._waiters = {}
 
     def begin(self, xid):
-        if xid in self._status:
+        if xid in self._entries:
             raise ValueError("xid {} already begun on {}".format(xid, self.node_id))
-        self._status[xid] = TxnStatus.IN_PROGRESS
+        self._entries[xid] = _IN_PROGRESS_ENTRY
 
     def status(self, xid):
         """Status of ``xid``; unknown ids read as ABORTED (as crashed txns)."""
-        return self._status.get(xid, TxnStatus.ABORTED)
+        return self._entries.get(xid, _ABORTED_ENTRY)[0]
 
     def commit_ts(self, xid):
         """Commit timestamp of a committed transaction."""
-        return self._commit_ts[xid]
+        status, commit_ts = self._entries[xid]
+        if status is not TxnStatus.COMMITTED:
+            raise KeyError(xid)
+        return commit_ts
+
+    def entry(self, xid):
+        """(status, commit_ts_or_None) in one lookup (the fast-path probe)."""
+        return self._entries.get(xid, _ABORTED_ENTRY)
+
+    def statuses(self):
+        """Iterate (xid, status) pairs (invariant checking / introspection)."""
+        for xid, (status, _commit_ts) in self._entries.items():
+            yield xid, status
 
     def set_prepared(self, xid):
         current = self.status(xid)
@@ -50,7 +76,7 @@ class Clog:
             raise ValueError(
                 "cannot prepare xid {} in state {}".format(xid, current)
             )
-        self._status[xid] = TxnStatus.PREPARED
+        self._entries[xid] = _PREPARED_ENTRY
 
     def set_committed(self, xid, commit_ts):
         current = self.status(xid)
@@ -58,15 +84,14 @@ class Clog:
             raise ValueError(
                 "cannot commit xid {} in state {}".format(xid, current)
             )
-        self._commit_ts[xid] = commit_ts
-        self._status[xid] = TxnStatus.COMMITTED
+        self._entries[xid] = (TxnStatus.COMMITTED, commit_ts)
         self._wake(xid)
 
     def set_aborted(self, xid):
         current = self.status(xid)
         if current is TxnStatus.COMMITTED:
             raise ValueError("cannot abort committed xid {}".format(xid))
-        self._status[xid] = TxnStatus.ABORTED
+        self._entries[xid] = _ABORTED_ENTRY
         self._wake(xid)
 
     def is_finished(self, xid):
@@ -87,4 +112,4 @@ class Clog:
 
     def _wake(self, xid):
         for event in self._waiters.pop(xid, []):
-            event.succeed(self._status[xid])
+            event.succeed(self.status(xid))

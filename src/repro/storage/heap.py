@@ -6,11 +6,27 @@ until the first version visible to the reader's snapshot; updates append a
 new version and stamp the old one's ``xmax``; vacuum trims versions that no
 active snapshot can see (long snapshot scans hold vacuum back, which is the
 mechanism behind the paper's Figure 10 throughput dip).
+
+Hot-path note: :meth:`HeapTable.visible_version` decides visibility through
+the non-blocking hint-bit checks (``creation_visible_fast``) and only falls
+back to the blocking generator when a writer is PREPARED, so the common
+read pays no sub-generator frames and, once hints are stamped, no CLOG
+lookups at all. The verdicts — and therefore every simulated timeline — are
+identical to the slow path by construction.
 """
 
+from repro import fastpath
+from repro.profiling.counters import COUNTERS
 from repro.storage.clog import TxnStatus
-from repro.storage.snapshot import creation_visible, deletion_visible, version_is_dead
-from repro.storage.tuples import TupleVersion
+from repro.storage.snapshot import (
+    UNDECIDED,
+    creation_visible,
+    creation_visible_fast,
+    deletion_visible,
+    deletion_visible_fast,
+    version_is_dead,
+)
+from repro.storage.tuples import ABORTED, TupleVersion
 
 
 class HeapTable:
@@ -56,11 +72,13 @@ class HeapTable:
     def mark_deleted(self, version, xmax):
         """Stamp ``version`` as superseded/deleted by transaction ``xmax``."""
         version.xmax = xmax
+        version.cts_max = None  # the old deleter's hint no longer applies
 
     def unmark_deleted(self, version, xmax):
         """Roll back an xmax stamp if it still belongs to ``xmax``."""
         if version.xmax == xmax:
             version.xmax = None
+            version.cts_max = None
 
     def remove_version(self, version):
         chain = self._chains.get(version.key)
@@ -80,18 +98,64 @@ class HeapTable:
         visible to ``snapshot``; the row is then visible iff that version's
         deletion is not. ``versions_traversed`` lets callers charge CPU time
         proportional to chain length.
+
+        The loop checks the hint bits *inline* — a stamped junk version
+        costs three attribute loads to skip, no function call — and drops
+        to :func:`creation_visible_fast` / the blocking generators only on
+        a hint miss or a PREPARED writer. A non-None hint implies the
+        writer is in a terminal CLOG state, which an active reader's own
+        xid never is, so the hint can be trusted before the own-xid check.
         """
+        clog = self.clog
         traversed = 0
-        for version in list(self.chain(key)):
-            traversed += 1
-            created = yield from creation_visible(version, snapshot, self.clog)
-            if not created:
-                continue
-            deleted = yield from deletion_visible(version, snapshot, self.clog)
-            if deleted:
+        try:
+            if not fastpath.clog_hints:
+                for version in list(self.chain(key)):
+                    traversed += 1
+                    created = creation_visible_fast(version, snapshot, clog)
+                    if created is UNDECIDED:
+                        created = yield from creation_visible(version, snapshot, clog)
+                    if not created:
+                        continue
+                    deleted = deletion_visible_fast(version, snapshot, clog)
+                    if deleted is UNDECIDED:
+                        deleted = yield from deletion_visible(version, snapshot, clog)
+                    if deleted:
+                        return None, traversed
+                    return version, traversed
                 return None, traversed
-            return version, traversed
-        return None, traversed
+            start_ts = snapshot.start_ts
+            for version in list(self.chain(key)):
+                traversed += 1
+                hint = version.cts_min
+                if hint is not None:
+                    if hint is ABORTED or hint > start_ts:
+                        continue
+                else:
+                    created = creation_visible_fast(version, snapshot, clog)
+                    if created is UNDECIDED:
+                        created = yield from creation_visible(version, snapshot, clog)
+                    if not created:
+                        continue
+                if version.xmax is None:
+                    return version, traversed
+                hint = version.cts_max
+                if hint is not None:
+                    # Terminal deleter: aborted or committed after us means
+                    # the deletion is invisible and the version survives.
+                    if hint is ABORTED or hint > start_ts:
+                        return version, traversed
+                    return None, traversed
+                deleted = deletion_visible_fast(version, snapshot, clog)
+                if deleted is UNDECIDED:
+                    deleted = yield from deletion_visible(version, snapshot, clog)
+                if deleted:
+                    return None, traversed
+                return version, traversed
+            return None, traversed
+        finally:
+            COUNTERS.visibility_checks += 1
+            COUNTERS.visibility_versions += traversed
 
     def read(self, key, snapshot):
         """Generator returning (value_or_None, versions_traversed)."""
@@ -106,6 +170,22 @@ class HeapTable:
         This is the version an updater contends on after acquiring the row
         lock: it is either committed, prepared or belongs to the lock holder.
         """
+        if fastpath.clog_hints:
+            clog = self.clog
+            for version in self.chain(key):
+                hint = version.cts_min
+                if hint is not None:
+                    if hint is ABORTED:
+                        continue
+                    return version
+                status = clog.status(version.xmin)
+                if status is TxnStatus.ABORTED:
+                    version.cts_min = ABORTED
+                    continue
+                if status is TxnStatus.COMMITTED:
+                    version.cts_min = clog.commit_ts(version.xmin)
+                return version
+            return None
         for version in self.chain(key):
             if self.clog.status(version.xmin) is not TxnStatus.ABORTED:
                 return version
@@ -138,27 +218,47 @@ class HeapTable:
         committed with a timestamp <= ``horizon_ts``. Returns the number of
         versions removed. A long-running snapshot (e.g. a migration snapshot
         scan) holds ``horizon_ts`` back and lets chains grow.
+
+        Dead versions whose hint bits already prove the verdict are dropped
+        without touching the CLOG, and statuses resolved here are stamped
+        back onto the surviving versions — so a long soak's periodic vacuum
+        both reclaims memory eagerly and leaves the chains cheaper to read.
+        Chains with nothing to reclaim are kept in place (no list rebuild).
         """
+        clog = self.clog
+        hints = fastpath.clog_hints
         removed = 0
         for key in list(self._chains.keys()):
             chain = self._chains[key]
-            kept = []
-            for version in chain:
-                if self.clog.status(version.xmin) is TxnStatus.ABORTED:
+            kept = None  # built lazily: only chains that lose a version
+            for index, version in enumerate(chain):
+                reclaim = False
+                if hints and version.cts_min is ABORTED:
+                    reclaim = True
+                elif clog.status(version.xmin) is TxnStatus.ABORTED:
+                    if hints:
+                        version.cts_min = ABORTED
+                    reclaim = True
+                elif version.xmax is not None:
+                    cts_max = version.cts_max if hints else None
+                    if cts_max is None:
+                        if clog.status(version.xmax) is TxnStatus.COMMITTED:
+                            cts_max = clog.commit_ts(version.xmax)
+                            if hints:
+                                version.cts_max = cts_max
+                    if cts_max is not None and cts_max is not ABORTED:
+                        reclaim = cts_max <= horizon_ts
+                if reclaim:
                     removed += 1
-                    continue
-                if (
-                    version.xmax is not None
-                    and self.clog.status(version.xmax) is TxnStatus.COMMITTED
-                    and self.clog.commit_ts(version.xmax) <= horizon_ts
-                ):
-                    removed += 1
-                    continue
-                kept.append(version)
-            if kept:
-                self._chains[key] = kept
-            else:
-                del self._chains[key]
+                    if kept is None:
+                        kept = chain[:index]
+                elif kept is not None:
+                    kept.append(version)
+            if kept is not None:
+                if kept:
+                    self._chains[key] = kept
+                else:
+                    del self._chains[key]
         self.version_count -= removed
         return removed
 

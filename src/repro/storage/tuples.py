@@ -5,7 +5,37 @@ paper): each version records the transaction that created it (``xmin``) and,
 once updated or deleted, the transaction that invalidated it (``xmax``). The
 commit timestamp of the creating/deleting transaction lives in the CLOG, not
 in the tuple, exactly as in the paper's design.
+
+On top of that the header carries PostgreSQL-style **hint bits**
+(``cts_min``/``cts_max``): once a visibility check resolves the creating or
+deleting transaction to a *terminal* CLOG state, it stamps the outcome on
+the version so repeat checks skip the CLOG entirely. A hint is either
+
+- ``None`` — not yet resolved (or resolved to a non-terminal state),
+- the transaction's commit timestamp — it committed, or
+- :data:`ABORTED` — it aborted.
+
+Terminal CLOG states are immutable, so a stamped hint can never go stale;
+the one mutable input is ``xmax`` itself (a deleter can abort and a later
+transaction re-stamp the version), which is why
+:meth:`~repro.storage.heap.HeapTable.mark_deleted` and
+:meth:`~repro.storage.heap.HeapTable.unmark_deleted` reset ``cts_max``.
+Hints are a pure cache of CLOG facts: stamping them never changes any
+visibility verdict or any simulated timeline.
 """
+
+
+class _AbortedHint:
+    """Singleton hint marker: the stamped transaction is known aborted."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "ABORTED"
+
+
+#: Hint value recording that the creating/deleting transaction aborted.
+ABORTED = _AbortedHint()
 
 
 class TupleVersion:
@@ -16,15 +46,19 @@ class TupleVersion:
         value: column payload (any Python object; workloads use dicts).
         xmin: id of the transaction that created this version.
         xmax: id of the transaction that deleted/superseded it, or None.
+        cts_min: hint for ``xmin`` — commit ts, :data:`ABORTED` or None.
+        cts_max: hint for ``xmax`` — commit ts, :data:`ABORTED` or None.
     """
 
-    __slots__ = ("key", "value", "xmin", "xmax")
+    __slots__ = ("key", "value", "xmin", "xmax", "cts_min", "cts_max")
 
     def __init__(self, key, value, xmin, xmax=None):
         self.key = key
         self.value = value
         self.xmin = xmin
         self.xmax = xmax
+        self.cts_min = None
+        self.cts_max = None
 
     def __repr__(self):
         return "TupleVersion(key={!r}, xmin={}, xmax={})".format(

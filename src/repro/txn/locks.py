@@ -37,6 +37,18 @@ class RowLockTable:
     def holder(self, key: Hashable):
         return self._owners.get(key)
 
+    def try_acquire(self, key: Hashable, owner) -> bool:
+        """O(1) uncontended/reentrant grab: True if ``owner`` now holds the
+        row lock on ``key``; False means the caller must queue through
+        :meth:`acquire`. Never blocks and never creates an event, so the
+        uncontended hot path (the overwhelming majority of acquires) skips
+        the event-name formatting and queue bookkeeping entirely."""
+        current = self._owners.get(key)
+        if current is None:
+            self._owners[key] = owner
+            return True
+        return current == owner
+
     def acquire(self, key: Hashable, owner) -> "Event":
         """Event that succeeds once ``owner`` holds the row lock on ``key``."""
         event = self.sim.event(name="rowlock:{}:{}".format(self.name, key))
@@ -143,6 +155,32 @@ class SharedExclusiveLockTable:
             state.shared_owners.add(owner)
         else:
             state.exclusive_owner = owner
+
+    def try_acquire(self, shard_id, owner, mode: str) -> bool:
+        """O(1) uncontended/reentrant grab; False → use :meth:`acquire`.
+
+        Deliberately conservative: any queued waiter, and the shared→
+        exclusive upgrade path (which must cut to the head of the queue),
+        fall back to the slow path so fairness decisions stay in one place.
+        """
+        state = self._locks.get(shard_id)
+        if state is None:
+            state = self._locks[shard_id] = _ShardLockState()
+        if state.exclusive_owner is not None:
+            return state.exclusive_owner == owner and mode == self.EXCLUSIVE
+        if mode == self.SHARED:
+            if owner in state.shared_owners:
+                return True
+            if not state.queue:
+                state.shared_owners.add(owner)
+                return True
+            return False
+        if owner in state.shared_owners:
+            return False  # upgrade: slow path queues at the head
+        if not state.shared_owners and not state.queue:
+            state.exclusive_owner = owner
+            return True
+        return False
 
     def acquire(self, shard_id, owner, mode: str) -> "Event":
         """Event succeeding once ``owner`` holds ``shard_id`` in ``mode``."""

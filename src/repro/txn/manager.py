@@ -17,9 +17,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator
 
+from repro import fastpath
+from repro.profiling.counters import COUNTERS
 from repro.sim.errors import Interrupt
+from repro.sim.events import Event
 from repro.sim.ordered import OrderedSet
 from repro.storage.clog import TxnStatus
+from repro.storage.snapshot import Snapshot
 from repro.storage.wal import WalRecord, WalRecordKind
 from repro.txn.errors import SerializationFailure, TransactionError, UniqueViolation
 from repro.txn.locks import RowLockTable, SharedExclusiveLockTable
@@ -72,6 +76,12 @@ class NodeTxnManager:
         self._first_change_lsn = {}  # xid -> LSN of its first change record
         self.extra_flush_latency = 0.0  # synchronous replication round trip
         self.flush_stall_until = 0.0  # chaos: WAL device stalled until then
+        # Epoch-tagged snapshot caching: bumped on every active_xids change
+        # (begin/commit/abort), so cached frozensets / shared read snapshots
+        # are reused until the node's transaction state actually moves.
+        self.active_epoch = 0
+        self._active_set_cache = None  # (epoch, frozenset)
+        self._read_snapshot_cache = None  # (epoch, start_ts, Snapshot)
 
     # ------------------------------------------------------------------
     # Participant management
@@ -83,7 +93,47 @@ class NodeTxnManager:
             participant = txn.add_participant(self.node_id, self._next_xid)
             self.clog.begin(participant.xid)
             self.active_xids.add(participant.xid)
+            self.active_epoch += 1
         return participant
+
+    def discard_active(self, xid) -> None:
+        """Drop ``xid`` from the active set (resolved out-of-band, e.g. the
+        read-only fast commit), invalidating epoch-tagged snapshots."""
+        self.active_xids.discard(xid)
+        self.active_epoch += 1
+
+    def active_xid_set(self) -> frozenset:
+        """Frozenset view of the active xids, cached per epoch."""
+        cached = self._active_set_cache
+        if cached is not None and cached[0] == self.active_epoch:
+            return cached[1]
+        xids = frozenset(self.active_xids)
+        self._active_set_cache = (self.active_epoch, xids)
+        return xids
+
+    def read_snapshot(self, start_ts) -> Snapshot:
+        """Shared xid-free snapshot at ``start_ts`` for pure snapshot reads
+        (migration snapshot scans, repair reads, shard-map lookups).
+
+        Epoch-tagged: the same :class:`Snapshot` object — including its
+        ``active_xids`` frozenset — is handed out until a transaction
+        begins or resolves on this node. Snapshots are immutable, so
+        sharing is invisible to MVCC semantics.
+        """
+        if fastpath.snapshot_cache:
+            cached = self._read_snapshot_cache
+            if (
+                cached is not None
+                and cached[0] == self.active_epoch
+                and cached[1] == start_ts
+            ):
+                COUNTERS.shared_snapshot_hits += 1
+                return cached[2]
+            COUNTERS.shared_snapshot_misses += 1
+        snapshot = Snapshot(start_ts, active_xids=self.active_xid_set())
+        if fastpath.snapshot_cache:
+            self._read_snapshot_cache = (self.active_epoch, start_ts, snapshot)
+        return snapshot
 
     def row_locks(self, shard_id) -> RowLockTable:
         if shard_id not in self._row_locks:
@@ -214,6 +264,19 @@ class NodeTxnManager:
 
     def _acquire_row_lock(self, txn, participant, shard_id, key):
         table = self.row_locks(shard_id)
+        if fastpath.lock_fastpath and table.try_acquire(key, participant.xid):
+            # Uncontended (or reentrant) grab. Yield a pre-triggered bare
+            # event: the resumption lands at the exact (time, seq) slot the
+            # slow path's named event would have produced, so interleaving
+            # with concurrent processes is unchanged — only the event-name
+            # formatting and queue bookkeeping are skipped.
+            COUNTERS.lock_fast_acquires += 1
+            event = Event(self.sim)
+            event.succeed(None)
+            yield event
+            participant.row_locks.add((shard_id, key))
+            return
+        COUNTERS.lock_slow_acquires += 1
         event = table.acquire(key, participant.xid)
         try:
             yield event
@@ -315,6 +378,16 @@ class NodeTxnManager:
         participant = self.ensure_participant(txn)
         if shard_id in participant.shard_locks and mode == SharedExclusiveLockTable.SHARED:
             return
+        if fastpath.lock_fastpath and self.shard_locks.try_acquire(
+            shard_id, participant.xid, mode
+        ):
+            COUNTERS.lock_fast_acquires += 1
+            event = Event(self.sim)
+            event.succeed(None)
+            yield event
+            participant.shard_locks.add(shard_id)
+            return
+        COUNTERS.lock_slow_acquires += 1
         event = self.shard_locks.acquire(shard_id, participant.xid, mode)
         try:
             yield event
@@ -335,8 +408,24 @@ class NodeTxnManager:
 
         A chaos-injected WAL stall (``flush_stall_until``) models a hiccuping
         storage device: every flush issued before that time blocks until the
-        device recovers."""
-        yield self.costs.wal_flush + self.extra_flush_latency
+        device recovers.
+
+        Group commit: flushes on this node that would complete at the same
+        instant share one completion event (:class:`~repro.storage.wal.
+        FlushCoalescer`), turning a commit storm's N timers into 2 kernel
+        events while resuming the waiters in the identical order. A stalled
+        device disables coalescing for the stall window — correctness of
+        the stall loop stays with the simple per-flush path."""
+        delay = self.costs.wal_flush + self.extra_flush_latency
+        COUNTERS.wal_flushes += 1
+        if fastpath.group_commit and self.sim.now >= self.flush_stall_until:
+            waitable = self.wal.flush_group.join(delay)
+            if waitable is None:
+                yield delay  # group leader pays the (legacy-identical) timer
+            else:
+                yield waitable
+        else:
+            yield delay
         while self.sim.now < self.flush_stall_until:
             yield self.flush_stall_until - self.sim.now
 
@@ -384,6 +473,7 @@ class NodeTxnManager:
         self.clog.set_committed(participant.xid, commit_ts)
         self._release_locks(participant)
         self.active_xids.discard(participant.xid)
+        self.active_epoch += 1
         self._first_change_lsn.pop(participant.xid, None)
         for hook in list(self._commit_hooks):
             yield from hook.after_commit(txn, participant, commit_ts)
@@ -411,6 +501,7 @@ class NodeTxnManager:
             self.clog.set_aborted(participant.xid)
         self._release_locks(participant)
         self.active_xids.discard(participant.xid)
+        self.active_epoch += 1
         self._first_change_lsn.pop(participant.xid, None)
         for hook in list(self._commit_hooks):
             yield from hook.after_abort(txn, participant)
@@ -427,6 +518,7 @@ class NodeTxnManager:
         self.clog.set_aborted(participant.xid)
         self._release_locks(participant)
         self.active_xids.discard(participant.xid)
+        self.active_epoch += 1
         self._first_change_lsn.pop(participant.xid, None)
         return True
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import enum
 
+from repro import fastpath
+from repro.profiling.counters import COUNTERS
 from repro.sim.ordered import OrderedSet
 from repro.storage.snapshot import Snapshot
 
@@ -74,13 +76,48 @@ class Transaction:
         self.is_shadow = False
         self.source_tid = None  # for shadow txns: the source transaction
         self.op_count = 0
+        # node_id -> Snapshot, reused across operations on that node until
+        # the participant set changes (the only input besides the immutable
+        # start_ts). Key None caches the xid-free routing snapshot.
+        self._snapshots: dict = {}
 
     # ------------------------------------------------------------------
     def snapshot_for(self, node_id: str) -> Snapshot:
-        """MVCC snapshot for reads executed on ``node_id``."""
+        """MVCC snapshot for reads executed on ``node_id``.
+
+        Snapshots are immutable value objects, so one per (txn, node) is
+        shared across every read/scan the transaction runs there;
+        :meth:`add_participant` invalidates the entry because it changes
+        the ``xid`` the snapshot must carry for own-write visibility.
+        """
+        if fastpath.snapshot_cache:
+            snapshot = self._snapshots.get(node_id)
+            if snapshot is not None:
+                COUNTERS.snapshot_cache_hits += 1
+                return snapshot
+            COUNTERS.snapshot_cache_misses += 1
         participant = self.participants.get(node_id)
         xid = participant.xid if participant else None
-        return Snapshot(self.start_ts, xid=xid)
+        snapshot = Snapshot(self.start_ts, xid=xid)
+        if fastpath.snapshot_cache:
+            self._snapshots[node_id] = snapshot
+        return snapshot
+
+    def plain_snapshot(self) -> Snapshot:
+        """The xid-free snapshot at ``start_ts`` (routing / shard-map reads).
+
+        Never invalidated: it depends only on the immutable start_ts.
+        """
+        if fastpath.snapshot_cache:
+            snapshot = self._snapshots.get(None)
+            if snapshot is not None:
+                COUNTERS.snapshot_cache_hits += 1
+                return snapshot
+            COUNTERS.snapshot_cache_misses += 1
+        snapshot = Snapshot(self.start_ts)
+        if fastpath.snapshot_cache:
+            self._snapshots[None] = snapshot
+        return snapshot
 
     def participant(self, node_id: str) -> Participant | None:
         return self.participants.get(node_id)
@@ -88,6 +125,7 @@ class Transaction:
     def add_participant(self, node_id: str, xid: int) -> Participant:
         participant = Participant(node_id, xid)
         self.participants[node_id] = participant
+        self._snapshots.pop(node_id, None)
         return participant
 
     @property

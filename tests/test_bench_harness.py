@@ -98,3 +98,29 @@ def test_kernel_microbench_smoke():
         }
     }
     assert check_against_baseline(payload, slowed, max_regression=0.30)
+
+
+@pytest.mark.bench
+def test_txn_microbench_smoke():
+    """The MVCC fast path must hold >=2x over the frozen legacy read path.
+
+    The bar applies to the visibility storm (hint bits + the inline
+    non-blocking check vs per-version generator frames + CLOG probes); the
+    commit and lock storms are reported and baseline-gated but have no
+    fixed multiplier. Best-of-5 timing keeps the ratio stable in CI.
+    """
+    from repro.bench.kernel_bench import check_against_baseline
+    from repro.bench.txn_bench import run_txn_bench
+
+    payload = run_txn_bench(smoke=True, repeats=5)
+    for storm in payload["storms"].values():
+        assert storm["events"] == storm["legacy"]["events"], (
+            "fast and legacy paths must execute the identical storm"
+        )
+    assert payload["speedup_vs_legacy"] >= 2.0, (
+        "txn fast path regressed below the 2x visibility bar: {}x".format(
+            payload["speedup_vs_legacy"]
+        )
+    )
+    # The kernel gate function reads the shared storms->events_per_sec shape.
+    assert check_against_baseline(payload, payload, max_regression=0.30) == []

@@ -65,8 +65,9 @@ def test_registry_register_rejects_duplicates():
         registry.register("hybrid_a", config_cls=ConsolidationConfig)(lambda a, c: None)
 
 
-def test_deprecated_entry_points_still_work():
-    """Old run_<scenario> call sites keep working, with a warning."""
+def test_deprecated_entry_points_are_gone():
+    """The pre-registry run_<scenario> shims were removed after a
+    deprecation cycle; the registry is the only entry point."""
     from repro.experiments import consolidation, high_contention, load_balancing, scale_out
 
     for module, name in (
@@ -76,15 +77,7 @@ def test_deprecated_entry_points_still_work():
         (scale_out, "run_scale_out"),
         (high_contention, "run_high_contention"),
     ):
-        shim = getattr(module, name)
-        assert callable(shim)
-    config = ConsolidationConfig(
-        num_tuples=600, num_shards=6, ycsb_clients=2, batch_tuples=300,
-        num_batches=1, warmup=0.5, settle=0.5, max_sim_time=40.0,
-    )
-    with pytest.deprecated_call():
-        result = consolidation.run_hybrid_a("remus", config)
-    assert result.scenario == "hybrid_a"
+        assert not hasattr(module, name), "{} should have been removed".format(name)
 
 
 def test_result_round_trip_is_exact():

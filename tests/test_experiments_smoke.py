@@ -7,10 +7,11 @@ with minimal workloads so `pytest tests/` stays quick.
 
 import pytest
 
-from repro.experiments.consolidation import ConsolidationConfig, run_hybrid_a, run_hybrid_b
-from repro.experiments.high_contention import HighContentionConfig, run_high_contention
-from repro.experiments.load_balancing import LoadBalancingConfig, run_load_balancing
-from repro.experiments.scale_out import ScaleOutConfig, run_scale_out
+from repro.experiments import registry
+from repro.experiments.consolidation import ConsolidationConfig
+from repro.experiments.high_contention import HighContentionConfig
+from repro.experiments.load_balancing import LoadBalancingConfig
+from repro.experiments.scale_out import ScaleOutConfig
 
 
 def tiny_consolidation(**kwargs):
@@ -33,7 +34,7 @@ def tiny_consolidation(**kwargs):
 
 @pytest.mark.parametrize("approach", ["remus", "wait_and_remaster"])
 def test_hybrid_a_smoke(approach):
-    result = run_hybrid_a(approach, tiny_consolidation())
+    result = registry.run("hybrid_a", approach=approach, config=tiny_consolidation())
     assert result.extra["data_intact"]
     assert result.migration_window[0] is not None
     assert result.throughput, "throughput series should not be empty"
@@ -42,12 +43,12 @@ def test_hybrid_a_smoke(approach):
 
 
 def test_hybrid_a_squall_smoke():
-    result = run_hybrid_a("squall", tiny_consolidation())
+    result = registry.run("hybrid_a", approach="squall", config=tiny_consolidation())
     assert result.extra["data_intact"]
 
 
 def test_hybrid_b_smoke():
-    result = run_hybrid_b("remus", tiny_consolidation(group_size=3))
+    result = registry.run("hybrid_b", approach="remus", config=tiny_consolidation(group_size=3))
     assert result.extra["duplicates"] == 0
     assert result.extra["rows_seen"] == 1200
     assert result.extra["data_intact"]
@@ -55,9 +56,10 @@ def test_hybrid_b_smoke():
 
 def test_hybrid_b_wait_and_remaster_blocks():
     # Make the analytical query slow enough to span the migrations.
-    result = run_hybrid_b(
-        "wait_and_remaster",
-        tiny_consolidation(group_size=3, analytical_row_cost=2.5e-3),
+    result = registry.run(
+        "hybrid_b",
+        approach="wait_and_remaster",
+        config=tiny_consolidation(group_size=3, analytical_row_cost=2.5e-3),
     )
     assert result.extra["data_intact"]
     # The analytical txn keeps the gate closed: measurable downtime.
@@ -73,7 +75,7 @@ def test_load_balancing_smoke():
         settle=1.0,
         max_sim_time=60.0,
     )
-    result = run_load_balancing("remus", config)
+    result = registry.run("load_balancing", approach="remus", config=config)
     assert result.extra["data_intact"]
     assert result.extra["migration_aborts"] == 0
     # At smoke scale (4 clients) the hot node is barely saturated, so only
@@ -94,15 +96,16 @@ def test_scale_out_smoke():
         settle=1.0,
         max_sim_time=60.0,
     )
-    result = run_scale_out("remus", config)
+    result = registry.run("scale_out", approach="remus", config=config)
     assert result.extra["migration_aborts"] == 0
     assert result.extra["new_node_shards"] == 16  # 2 warehouses x 8 tables
     assert result.extra["tput_after"] > 0
 
 
 def test_scale_out_rejects_squall():
-    with pytest.raises(NotImplementedError):
-        run_scale_out("squall")
+    # The registry validates approach support before the runner is entered.
+    with pytest.raises(ValueError, match="does not support approach 'squall'"):
+        registry.run("scale_out", approach="squall")
 
 
 def test_high_contention_smoke():
@@ -114,7 +117,7 @@ def test_high_contention_smoke():
         run_after=1.0,
         max_sim_time=30.0,
     )
-    result = run_high_contention("remus", config)
+    result = registry.run("high_contention", approach="remus", config=config)
     assert result.extra["data_intact"]
     assert result.extra["tput_baseline"] > 0
     assert result.extra["cpu_source"], "CPU series should exist"

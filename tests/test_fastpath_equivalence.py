@@ -1,0 +1,96 @@
+"""The fast paths must be invisible in simulated time.
+
+Every optimization behind ``repro.fastpath`` — hint bits, snapshot caching,
+group-commit WAL batching, the uncontended-lock fast path — claims to be
+*semantics-preserving*: it may change how much wall-clock the host burns,
+never what happens in the simulation. These tests hold it to that claim at
+two levels:
+
+- whole experiments: each (scenario, approach, seed) cell is run with the
+  fast paths on and with every flag off, and the canonical-JSON result
+  payloads must be byte-identical;
+- a raw cluster run: the per-commit (time, label, latency) timeline and the
+  final table dump must match tuple-for-tuple.
+
+The profiler makes the same promise (it observes dispatches, it never
+schedules), so it gets the same treatment.
+"""
+
+import pytest
+
+from repro import fastpath
+from repro.bench.sweep import SMOKE_OVERRIDES, canonical_json
+from repro.experiments import ExperimentResult, registry
+from repro.profiling import Profiler
+
+#: One cell per migration approach, crossing scenario boundaries.
+_CELLS = [
+    ("load_balancing", "squall"),
+    ("high_contention", "lock_and_abort"),
+    ("scale_out", "wait_and_remaster"),
+    ("hybrid_a", "remus"),
+]
+_SEEDS = [0, 1, 2]
+
+
+def _run_cell(scenario, approach, seed):
+    overrides = SMOKE_OVERRIDES.get(scenario, {})
+    return registry.run(
+        registry.get(scenario), approach=approach, seed=seed, **overrides
+    )
+
+
+@pytest.mark.parametrize("scenario,approach", _CELLS)
+def test_experiment_timeline_identical_with_fastpath_off(scenario, approach):
+    for seed in _SEEDS:
+        fast = _run_cell(scenario, approach, seed)
+        with fastpath.all_disabled():
+            slow = _run_cell(scenario, approach, seed)
+        assert canonical_json(fast.to_dict()) == canonical_json(slow.to_dict()), (
+            "fast path changed the {}/{} timeline at seed {}".format(
+                scenario, approach, seed
+            )
+        )
+        # The payload must survive serialization exactly (sweep workers and
+        # BENCH_experiments.json depend on this round-trip).
+        restored = ExperimentResult.from_dict(fast.to_dict())
+        assert restored.to_dict() == fast.to_dict()
+
+
+def test_commit_timeline_identical_with_fastpath_off():
+    """Tuple-level check: every commit time/latency and the final table."""
+    from tests.test_determinism import run_once
+
+    fast_commits, fast_dump, fast_copied = run_once(seed=11)
+    with fastpath.all_disabled():
+        slow_commits, slow_dump, slow_copied = run_once(seed=11)
+    assert fast_commits == slow_commits
+    assert fast_dump == slow_dump
+    assert fast_copied == slow_copied
+
+
+def test_flags_restored_after_override():
+    before = fastpath.flags()
+    with fastpath.all_disabled():
+        assert not any(fastpath.flags().values())
+    assert fastpath.flags() == before
+    with pytest.raises(ValueError):
+        fastpath.configure(warp_drive=True)
+
+
+def test_profiler_does_not_perturb_the_timeline():
+    baseline = _run_cell("load_balancing", "remus", 3)
+    with Profiler() as profiler:
+        profiled = _run_cell("load_balancing", "remus", 3)
+    assert canonical_json(profiled.to_dict()) == canonical_json(baseline.to_dict())
+    report = profiler.report()
+    assert report["dispatches"] > 0
+    assert report["subsystems"], "expected per-subsystem wall-clock attribution"
+
+
+def test_profiler_rejects_nesting():
+    from repro.sim.errors import SimulationError
+
+    with Profiler():
+        with pytest.raises(SimulationError):
+            Profiler().__enter__()
