@@ -78,6 +78,7 @@ def default_config() -> LintConfig:
         "*/sim/kernel.py",
         "*/bench/kernel_bench.py",
         "*/bench/txn_bench.py",
+        "*/bench/migration_bench.py",
         "*/bench/sweep.py",
         "*/profiling/*",
     )

@@ -1,0 +1,81 @@
+"""Frozen pre-fast-path migration data path, kept as the benchmark reference.
+
+These are byte-for-byte copies of the migration hot loops as they stood
+before the ``repro.fastpath`` migration flags landed (commit history:
+``snapshot_copy.copy_shard_snapshot`` and ``Propagation._pump``), so
+``repro.bench.migration_bench`` measures the real before/after instead of
+trusting the flag-gated live module to still contain the old code. Do not
+"fix" or modernize them — the magic constants (256-tuple ship batches, the
+64-record CPU charge, the 64-byte tuple fallback) are part of what is
+frozen; the live path sources them from :class:`repro.config.ClusterConfig`.
+
+They run against the *live* cluster/heap/WAL objects: the legacy scan sorts
+the heap's key set per copy and pays one simulated CPU charge plus one
+blocking visibility generator per tuple; the legacy pump visits every WAL
+record regardless of shard.
+"""
+
+from repro.sim.errors import Interrupt
+
+_BATCH_TUPLES = 256
+_PUMP_BATCH = 64
+
+
+def legacy_copy_shard_snapshot(cluster, shard_id, source, dest, snapshot_ts, stats):
+    """Generator: the pre-index, per-tuple snapshot copy loop."""
+    source_node = cluster.nodes[source]
+    dest_node = cluster.nodes[dest]
+    heap = source_node.heap_for(shard_id)
+    tuple_size = (
+        cluster.tables[shard_id.table].tuple_size
+        if shard_id.table in cluster.tables
+        else 64
+    )
+    costs = cluster.config.costs
+    snapshot = source_node.manager.read_snapshot(snapshot_ts)
+
+    copied = 0
+    keys = sorted(heap.keys())
+    batch = []
+    for key in keys:
+        yield source_node.cpu.use(costs.snapshot_scan_per_tuple)
+        version, _traversed = yield from heap.visible_version(key, snapshot)
+        if version is None:
+            continue
+        batch.append((key, version.value))
+        if len(batch) >= _BATCH_TUPLES:
+            copied += yield from _legacy_ship_batch(
+                cluster, batch, source, dest_node, shard_id, tuple_size, costs
+            )
+            batch = []
+    if batch:
+        copied += yield from _legacy_ship_batch(
+            cluster, batch, source, dest_node, shard_id, tuple_size, costs
+        )
+    stats.tuples_copied += copied
+    stats.bytes_copied += copied * tuple_size
+    return copied
+
+
+def _legacy_ship_batch(cluster, batch, source, dest_node, shard_id, tuple_size, costs):
+    yield from cluster.rpc_send(source, dest_node.node_id, len(batch) * tuple_size)
+    yield dest_node.cpu.use(costs.snapshot_scan_per_tuple * len(batch))
+    dest_node.bulk_install(shard_id, batch)
+    return len(batch)
+
+
+def legacy_pump(propagation):
+    """Generator: the unrouted send loop — visits every WAL record."""
+    try:
+        while True:
+            record = yield from propagation.reader.next_record()
+            propagation.records_seen += 1
+            propagation._since_cpu_charge += 1
+            if propagation._since_cpu_charge >= _PUMP_BATCH:
+                yield propagation.source_node.cpu.use(
+                    propagation.costs.cpu_propagate * propagation._since_cpu_charge
+                )
+                propagation._since_cpu_charge = 0
+            propagation._handle(record)
+    except Interrupt:
+        return

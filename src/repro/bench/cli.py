@@ -2,10 +2,12 @@
 
 ``repro bench`` runs the kernel and transaction-layer microbenchmarks
 (and, unless skipped, a seed sweep over the experiment cells) and writes
-``BENCH_kernel.json``, ``BENCH_txn.json`` and ``BENCH_experiments.json``.
-With ``--baseline`` / ``--baseline-txn`` it gates each storm's events/sec
-against a committed baseline file — the CI smoke job fails a PR that
-regresses a hot loop by more than ``--max-regression``.
+``BENCH_kernel.json``, ``BENCH_txn.json`` and ``BENCH_experiments.json``;
+``--migration`` adds the migration data-path storms
+(``BENCH_migration.json``). With ``--baseline`` / ``--baseline-txn`` /
+``--baseline-migration`` it gates each storm's events/sec against a
+committed baseline file — the CI smoke job fails a PR that regresses a
+hot loop by more than ``--max-regression``.
 
 ``repro sweep`` is the standalone fan-out: seeds x (scenario, approach)
 cells across a worker pool, with ``--verify-serial`` proving byte-identical
@@ -19,6 +21,7 @@ import os
 import sys
 
 from repro.bench.kernel_bench import check_against_baseline, run_kernel_bench
+from repro.bench.migration_bench import run_migration_bench
 from repro.bench.sweep import SMOKE_OVERRIDES, default_cells, run_sweep
 from repro.bench.txn_bench import run_txn_bench
 from repro.experiments import registry
@@ -56,6 +59,17 @@ def add_bench_arguments(parser):
         "--baseline-txn",
         default=None,
         help="committed BENCH_txn.json to gate txn storm events/sec against",
+    )
+    parser.add_argument(
+        "--migration",
+        action="store_true",
+        help="also run the migration data-path storms (BENCH_migration.json)",
+    )
+    parser.add_argument(
+        "--baseline-migration",
+        default=None,
+        help="committed BENCH_migration.json to gate migration storms against"
+        " (implies --migration)",
     )
     parser.add_argument(
         "--max-regression",
@@ -98,10 +112,30 @@ def run_bench_command(args):
         )
     print("wrote {}".format(txn_path))
 
+    migration = None
+    if args.migration or args.baseline_migration:
+        migration = run_migration_bench(smoke=args.smoke, repeats=args.repeats)
+        migration_path = os.path.join(args.out_dir, "BENCH_migration.json")
+        _write_json(migration_path, migration)
+        for name, storm in sorted(migration["storms"].items()):
+            print(
+                "migration {:<24} {:,.0f} events/s (legacy {:,.0f}) -> {:.2f}x".format(
+                    name,
+                    storm["events_per_sec"],
+                    storm["legacy"]["events_per_sec"],
+                    storm["speedup"],
+                )
+            )
+        print("wrote {}".format(migration_path))
+
     status = 0
-    # The kernel and txn payloads share one shape (storms -> events_per_sec),
-    # so a single gate function covers both.
-    for payload, baseline_path in ((kernel, args.baseline), (txn, args.baseline_txn)):
+    # The kernel, txn and migration payloads share one shape
+    # (storms -> events_per_sec), so a single gate function covers all.
+    for payload, baseline_path in (
+        (kernel, args.baseline),
+        (txn, args.baseline_txn),
+        (migration, args.baseline_migration),
+    ):
         if not baseline_path:
             continue
         with open(baseline_path) as handle:

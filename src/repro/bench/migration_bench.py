@@ -1,0 +1,264 @@
+"""Migration data-path microbenchmarks: fast path vs the frozen legacy.
+
+Three storms, each isolating one prong of the migration fast path
+(``fastpath.migration_scan`` / ``migration_pump`` / ``migration_replay``)
+against the frozen pre-optimization loops in
+:mod:`repro.bench._legacy_migration`:
+
+- ``snapshot_copy_storm`` — repeated snapshot-copy passes over a shard
+  whose version chains carry aborted and after-snapshot junk (the Figure 10
+  regime). The legacy loop re-sorts the key set per pass and pays one
+  simulated CPU event plus one blocking visibility generator per tuple; the
+  indexed scan walks the incrementally sorted index, decides visibility
+  inline and coalesces the CPU charges. CI pins this storm's speedup at
+  >= 2x.
+- ``propagation_replay_storm`` — a WAL backlog where only a fraction of the
+  change records touch the migrating shard, drained through a live
+  :class:`~repro.migration.propagation.Propagation` with real shadow-
+  transaction replay on the destination. The legacy pump visits every
+  record; the routed pump consumes only the relevant ones and replays
+  coalesced change vectors.
+- ``crash_retry_storm`` — many small copy passes over one shard with fresh
+  rows landing between passes, the §3.7 crash-retry shape: the legacy
+  per-retry re-sort is exactly what the persistent key index amortises.
+
+Fast runs use the shipped flag configuration (all fast paths on); legacy
+runs use :func:`repro.fastpath.all_disabled` plus the frozen loops.
+``repro bench`` serializes the payload as ``BENCH_migration.json`` and
+gates it against the committed baseline like the kernel and txn payloads.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import fastpath
+from repro.bench._legacy_migration import legacy_copy_shard_snapshot, legacy_pump
+from repro.bench.txn_bench import _measure, _versus
+from repro.cluster import Cluster
+from repro.config import ClusterConfig
+from repro.migration.base import MigrationStats
+from repro.migration.propagation import Propagation
+from repro.migration.snapshot_copy import copy_shard_snapshot
+from repro.storage.wal import WalRecord, WalRecordKind
+
+#: (tuples, passes) / (txns, rounds) / (tuples, retries) per mode.
+_COPY_SCALE = {"smoke": (1200, 6), "full": (3000, 10)}
+_PUMP_SCALE = {"smoke": (700, 4), "full": (2000, 8)}
+_RETRY_SCALE = {"smoke": (300, 8), "full": (800, 20)}
+
+#: Shards in the pump storm's source WAL (one of them migrating).
+_PUMP_SHARDS = 8
+
+#: Pump storm shape: every ``_PUMP_MIGRATING_EVERY``-th transaction writes
+#: the migrating shard (and replays for real); the rest are pump noise with
+#: ``_PUMP_NOISE_CHANGES`` change records each.
+_PUMP_MIGRATING_EVERY = 16
+_PUMP_NOISE_CHANGES = 10
+
+_TABLE = "bench"
+_SNAPSHOT_TS = 10
+#: Clog xids for the version-chain churn, far above any live allocation.
+_XID_CHURN = 900_001
+_XID_JUNK = 900_002
+
+
+def _build_cluster(num_tuples, num_shards, tuple_size=128):
+    cluster = Cluster(ClusterConfig(num_nodes=2, seed=0))
+    schema = cluster.create_table(_TABLE, num_shards=num_shards, tuple_size=tuple_size)
+    cluster.bulk_load(_TABLE, [(key, {"f0": key}) for key in range(num_tuples)])
+    return cluster, schema
+
+
+def _largest_shard(cluster, schema, num_tuples):
+    """The (shard_id, source, dest, keys) of the best-populated shard."""
+    keys_by_shard = {}
+    for key in range(num_tuples):
+        keys_by_shard.setdefault(schema.shard_for_key(key), []).append(key)
+    shard_id = max(sorted(keys_by_shard), key=lambda s: len(keys_by_shard[s]))
+    source = cluster.shard_owners[shard_id]
+    dest = next(n for n in cluster.node_ids() if n != source)
+    return shard_id, source, dest, keys_by_shard[shard_id]
+
+
+def _churn_chains(cluster, shard_id, source, keys):
+    """Deepen the shard's version chains: committed updates + aborted junk."""
+    node = cluster.nodes[source]
+    clog = node.clog
+    clog.begin(_XID_CHURN)
+    clog.set_committed(_XID_CHURN, _SNAPSHOT_TS // 2)
+    clog.begin(_XID_JUNK)
+    clog.set_aborted(_XID_JUNK)
+    heap = node.heap_for(shard_id)
+    for key in keys:
+        heap.put_version(key, {"f0": key + 1}, _XID_CHURN)
+        heap.put_version(key, {"f0": -key}, _XID_JUNK)
+        heap.put_version(key, {"f0": -key}, _XID_JUNK)
+
+
+def _run_copy_passes(copy_fn, cluster, shard_id, source, dest, passes):
+    sim = cluster.sim
+    copied = 0
+    for _ in range(passes):
+        stats = MigrationStats()
+        proc = cluster.spawn(
+            copy_fn(cluster, shard_id, source, dest, _SNAPSHOT_TS, stats)
+        )
+        sim.run_until_complete(proc)
+        copied += stats.tuples_copied
+    return copied
+
+
+def _copy_storm(tuples, passes, fast):
+    cluster, schema = _build_cluster(tuples, num_shards=1)
+    shard_id, source, dest, keys = _largest_shard(cluster, schema, tuples)
+    _churn_chains(cluster, shard_id, source, keys)
+    copy_fn = copy_shard_snapshot if fast else legacy_copy_shard_snapshot
+    if fast:
+        return _run_copy_passes(copy_fn, cluster, shard_id, source, dest, passes)
+    with fastpath.all_disabled():
+        return _run_copy_passes(copy_fn, cluster, shard_id, source, dest, passes)
+
+
+def _copy_storm_fast(tuples, passes):
+    return _copy_storm(tuples, passes, fast=True)
+
+
+def _copy_storm_legacy(tuples, passes):
+    return _copy_storm(tuples, passes, fast=False)
+
+
+def _pump_storm(txns, rounds, fast):
+    cluster, schema = _build_cluster(num_tuples=_PUMP_SHARDS, num_shards=_PUMP_SHARDS)
+    del schema
+    source = cluster.node_ids()[0]
+    dest = cluster.node_ids()[1]
+    shard_ids = cluster.shards_on_node(source, table=_TABLE)
+    if not shard_ids:
+        source, dest = dest, source
+        shard_ids = cluster.shards_on_node(source, table=_TABLE)
+    migrating = shard_ids[:1]
+    wal = cluster.nodes[source].wal
+    backlog_from = wal.tail_lsn
+    # Backlog (appended once, drained ``rounds`` times by fresh pipelines):
+    # every _PUMP_MIGRATING_EVERY-th txn writes the migrating shard and
+    # commits after the snapshot, so it replays for real through the
+    # destination manager; the rest are pump noise on the source's other
+    # shards, which the routed pump never visits.
+    noise_shards = [s for s in shard_ids if s not in migrating] or migrating
+    for index in range(txns):
+        xid = 500_000 + index
+        if index % _PUMP_MIGRATING_EVERY == 0:
+            shard_id = migrating[0]
+            changes = 2
+        else:
+            shard_id = noise_shards[index % len(noise_shards)]
+            changes = _PUMP_NOISE_CHANGES
+        for column in range(changes):
+            wal.append(
+                WalRecord(
+                    WalRecordKind.INSERT,
+                    xid=xid,
+                    shard_id=shard_id,
+                    key=(index, column),
+                    value={"f0": index},
+                    size=128,
+                    start_ts=_SNAPSHOT_TS,
+                )
+            )
+        wal.append(
+            WalRecord(
+                WalRecordKind.COMMIT,
+                xid=xid,
+                commit_ts=_SNAPSHOT_TS + 1 + index,
+            )
+        )
+
+    def drain():
+        consumed = 0
+        for _ in range(rounds):
+            stats = MigrationStats()
+            propagation = Propagation(
+                cluster, migrating, source, dest, _SNAPSHOT_TS, backlog_from, stats
+            )
+            if fast:
+                propagation.start()
+            else:
+                cluster.sim.spawn(legacy_pump(propagation), name="legacy-pump")
+            cluster.sim.run()
+            consumed += propagation.records_seen + stats.records_applied
+        return consumed
+
+    if fast:
+        return drain()
+    with fastpath.all_disabled():
+        return drain()
+
+
+def _pump_storm_fast(txns, rounds):
+    return _pump_storm(txns, rounds, fast=True)
+
+
+def _pump_storm_legacy(txns, rounds):
+    return _pump_storm(txns, rounds, fast=False)
+
+
+def _retry_storm(tuples, retries, fast):
+    cluster, schema = _build_cluster(tuples, num_shards=2)
+    shard_id, source, dest, keys = _largest_shard(cluster, schema, tuples)
+    del keys
+    node = cluster.nodes[source]
+    copy_fn = copy_shard_snapshot if fast else legacy_copy_shard_snapshot
+
+    def run():
+        copied = 0
+        for retry in range(retries):
+            # Fresh rows between retries: the legacy path re-sorts the whole
+            # key set; the index absorbs them with bisect insertions.
+            node.bulk_install(
+                shard_id,
+                [(tuples + retry * 8 + j, {"f0": j}) for j in range(8)],
+            )
+            copied += _run_copy_passes(copy_fn, cluster, shard_id, source, dest, 1)
+        return copied
+
+    if fast:
+        return run()
+    with fastpath.all_disabled():
+        return run()
+
+
+def _retry_storm_fast(tuples, retries):
+    return _retry_storm(tuples, retries, fast=True)
+
+
+def _retry_storm_legacy(tuples, retries):
+    return _retry_storm(tuples, retries, fast=False)
+
+
+def run_migration_bench(smoke: bool = False, repeats: int = 3) -> dict:
+    """Run every storm; returns the ``BENCH_migration.json`` payload."""
+    mode = "smoke" if smoke else "full"
+    copy = _versus(
+        _measure(_copy_storm_fast, *_COPY_SCALE[mode], repeats=repeats),
+        _measure(_copy_storm_legacy, *_COPY_SCALE[mode], repeats=repeats),
+    )
+    pump = _versus(
+        _measure(_pump_storm_fast, *_PUMP_SCALE[mode], repeats=repeats),
+        _measure(_pump_storm_legacy, *_PUMP_SCALE[mode], repeats=repeats),
+    )
+    retry = _versus(
+        _measure(_retry_storm_fast, *_RETRY_SCALE[mode], repeats=repeats),
+        _measure(_retry_storm_legacy, *_RETRY_SCALE[mode], repeats=repeats),
+    )
+    return {
+        "bench": "migration",
+        "mode": mode,
+        "python": "{}.{}.{}".format(*sys.version_info[:3]),
+        "storms": {
+            "snapshot_copy_storm": copy,
+            "propagation_replay_storm": pump,
+            "crash_retry_storm": retry,
+        },
+        "speedup_vs_legacy": copy["speedup"],
+    }

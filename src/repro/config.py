@@ -59,4 +59,10 @@ class ClusterConfig:
     rpc_max_attempts: int = 4
     rpc_backoff_base: float = 0.02
     rpc_backoff_cap: float = 0.5
+    # Migration data-path batching (§3.2/§3.3). Formerly magic constants in
+    # snapshot_copy/propagation; centralized so experiments can tune them.
+    snapshot_batch_tuples: int = 256  # tuples per snapshot-copy RPC batch
+    pump_batch_records: int = 64  # WAL records per send-process CPU charge
+    propagation_msg_overhead: int = 128  # protocol bytes per shipped message
+    default_tuple_size: int = 64  # bytes for tables with no declared size
     seed: int = 0

@@ -29,6 +29,23 @@ Flags
 ``lock_fastpath``
     O(1) uncontended lock acquire/release with no event allocation and no
     queue scan; contended requests take the FIFO slow path unchanged.
+``migration_scan``
+    Indexed snapshot scan (§3.2): per-shard heaps keep an incrementally
+    sorted key index so the migration snapshot copy (and crash-recovery
+    repair scan) stops re-sorting the whole heap per copy, decides
+    visibility inline over runs of hint-bit-clean tuples, and charges the
+    scan CPU once per tuple batch with identical totals.
+``migration_pump``
+    Shard-routed WAL pump (§3.3): the WAL keeps a per-shard record routing
+    index so the propagation send process consumes only records touching
+    the migrating shard set — skipped records still advance the reader and
+    its CPU-charge accounting at the exact legacy boundaries.
+``migration_replay``
+    Batched replay dispatch (§3.3/§3.6): replay slots pull coalesced
+    per-transaction change vectors (the per-record kind dispatch is
+    resolved once, when the transfer is scheduled) and applied-watermark
+    waiters resolve through a sorted cursor instead of a linear sweep per
+    record.
 """
 
 from __future__ import annotations
@@ -39,8 +56,19 @@ clog_hints: bool = True
 snapshot_cache: bool = True
 group_commit: bool = True
 lock_fastpath: bool = True
+migration_scan: bool = True
+migration_pump: bool = True
+migration_replay: bool = True
 
-_FLAG_NAMES = ("clog_hints", "snapshot_cache", "group_commit", "lock_fastpath")
+_FLAG_NAMES = (
+    "clog_hints",
+    "snapshot_cache",
+    "group_commit",
+    "lock_fastpath",
+    "migration_scan",
+    "migration_pump",
+    "migration_replay",
+)
 
 
 def flags() -> dict:

@@ -24,15 +24,16 @@ with overlapping write keys are chained in commit order (the paper's
 order", §3.6).
 """
 
+from bisect import bisect_left, bisect_right, insort
+
+from repro import fastpath
+from repro.profiling.counters import COUNTERS
 from repro.sim.errors import Interrupt
 from repro.sim.ordered import OrderedSet
 from repro.sim.resources import Resource
 from repro.storage.wal import WalRecordKind
 from repro.txn.errors import RpcAbort, SerializationFailure, TransactionError
 from repro.txn.transaction import Transaction, TxnState
-
-_PUMP_BATCH = 64  # WAL records scanned per source-CPU charge
-_MSG_OVERHEAD = 128  # protocol bytes per propagated message
 
 
 class _InflightApply:
@@ -52,7 +53,11 @@ class Propagation:
     def __init__(self, cluster, shard_ids, source, dest, snapshot_ts, from_lsn, stats):
         self.cluster = cluster
         self.sim = cluster.sim
-        self.shard_set = set(shard_ids)
+        # Frozen tuple-keyed set: ShardId is a tuple subclass, so membership
+        # per WAL record is one O(1) hash with no per-record allocation.
+        self.shard_set = frozenset(shard_ids)
+        self._pump_batch = cluster.config.pump_batch_records
+        self._msg_overhead = cluster.config.propagation_msg_overhead
         self.source = source
         self.dest = dest
         self.snapshot_ts = snapshot_ts
@@ -70,7 +75,12 @@ class Propagation:
         self._slots = Resource(
             self.sim, capacity=cluster.config.replay_parallelism, name="replay"
         )
-        self._applied_waiters = []  # (target_lsn, event)
+        # Watermark waiters as (target_lsn, insertion_seq, event). The fast
+        # path keeps the list sorted by (lsn, seq) and resolves a ready
+        # prefix with one bisect; the legacy path appends and sweeps. Both
+        # fire ready waiters in insertion order.
+        self._applied_waiters = []
+        self._waiter_seq = 0
         # Insertion-ordered: a crash teardown interrupts these in spawn
         # order, keeping the teardown timeline deterministic (SIM003).
         self._tasks = OrderedSet()  # in-flight replay/resolution processes
@@ -179,28 +189,49 @@ class Propagation:
         if self.applied_watermark() >= lsn:
             event.succeed(None)
             return event
-        self._applied_waiters.append((lsn, event))
+        self._waiter_seq += 1
+        if fastpath.migration_replay:
+            insort(self._applied_waiters, (lsn, self._waiter_seq, event))
+        else:
+            self._applied_waiters.append((lsn, self._waiter_seq, event))
         return event
 
     def _check_applied_waiters(self):
-        if not self._applied_waiters:
+        waiters = self._applied_waiters
+        if not waiters:
+            return
+        if fastpath.migration_replay:
+            # Sorted by (lsn, seq): one bisect cuts the ready prefix.
+            watermark = self.applied_watermark()
+            if waiters[0][0] > watermark:
+                return
+            cut = bisect_right(waiters, (watermark, self._waiter_seq + 1))
+            ready = waiters[:cut]
+            del waiters[:cut]
+            # Fire in insertion order — the order the legacy sweep fires in.
+            ready.sort(key=lambda entry: entry[1])
+            for entry in ready:
+                entry[2].succeed(None)
             return
         watermark = self.applied_watermark()
-        ready = [(lsn, ev) for lsn, ev in self._applied_waiters if watermark >= lsn]
+        ready = [entry for entry in waiters if watermark >= entry[0]]
         for entry in ready:
-            self._applied_waiters.remove(entry)
-            entry[1].succeed(None)
+            waiters.remove(entry)
+            entry[2].succeed(None)
 
     # ------------------------------------------------------------------
     # Send process
     # ------------------------------------------------------------------
     def _pump(self):
         try:
+            if fastpath.migration_pump:
+                yield from self._pump_routed()
+                return
             while True:
                 record = yield from self.reader.next_record()
                 self.records_seen += 1
                 self._since_cpu_charge += 1
-                if self._since_cpu_charge >= _PUMP_BATCH:
+                if self._since_cpu_charge >= self._pump_batch:
                     # The send process consumes source CPU while scanning the
                     # WAL (the ~6% source overhead in Figure 10).
                     yield self.source_node.cpu.use(
@@ -210,6 +241,67 @@ class Propagation:
                 self._handle(record)
         except Interrupt:
             return
+
+    def _pump_routed(self):
+        """Shard-routed send loop: identical effects, fewer record visits.
+
+        Consumes only records the unrouted loop would act on — change
+        records touching the migrating shard set, plus every control
+        record — via the WAL's per-shard routing index. Skipped records
+        still advance the reader cursor, the ``records_seen`` count and
+        the CPU-charge accounting, so every charge lands at the exact
+        count boundary (and therefore the exact instant) the unrouted
+        loop pays it, interleaved with the same ``_handle`` effects in
+        the same LSN order.
+        """
+        wal = self.source_node.wal
+        reader = self.reader
+        cpu = self.source_node.cpu
+        batch = self._pump_batch
+        charge = self.costs.cpu_propagate * batch
+        change_index, control_index = wal.routing_index()
+        routes = [control_index]
+        for shard_id in sorted(self.shard_set):
+            route = change_index.get(shard_id)
+            if route is None:
+                # Share the live list so appends after this point land in it.
+                route = change_index[shard_id] = []
+            routes.append(route)
+        cursors = [bisect_left(route, reader.next_lsn) for route in routes]
+        while True:
+            if reader.next_lsn >= wal.tail_lsn:
+                yield wal._wait_appended()
+                continue
+            # Next relevant record at or beyond the reader cursor, if any.
+            next_lsn = wal.tail_lsn
+            winner = -1
+            for index, route in enumerate(routes):
+                cursor = cursors[index]
+                if cursor < len(route) and route[cursor] < next_lsn:
+                    next_lsn = route[cursor]
+                    winner = index
+            # Records in [reader.next_lsn, next_lsn) are irrelevant: count
+            # them and pay every crossed charge boundary, handling nothing.
+            gap = next_lsn - reader.next_lsn
+            if gap:
+                self.records_seen += gap
+                reader.next_lsn += gap
+                COUNTERS.migration_pump_skipped += gap
+                self._since_cpu_charge += gap
+                while self._since_cpu_charge >= batch:
+                    yield cpu.use(charge)
+                    self._since_cpu_charge -= batch
+            if winner < 0:
+                continue
+            record = wal.record_at(next_lsn)
+            reader.next_lsn = next_lsn + 1
+            cursors[winner] += 1
+            self.records_seen += 1
+            self._since_cpu_charge += 1
+            if self._since_cpu_charge >= batch:
+                yield cpu.use(charge)
+                self._since_cpu_charge = 0
+            self._handle(record)
 
     def _handle(self, record):
         kind = record.kind
@@ -295,7 +387,7 @@ class Propagation:
         :class:`~repro.txn.errors.RpcAbort`, which wounds the pipeline
         instead of hanging it.
         """
-        total_bytes = _MSG_OVERHEAD + sum(r.size for r in records)
+        total_bytes = self._msg_overhead + sum(r.size for r in records)
         if len(records) > self.costs.spill_threshold:
             batches = len(records) // 1000 + 1
             yield batches * self.costs.spill_reload_per_batch
@@ -335,28 +427,65 @@ class Propagation:
                 )
             self.stats.records_applied += 1
 
+    def _coalesce_changes(self, records):
+        """Resolve the per-record kind dispatch once, at scheduling time.
+
+        Returns the transaction's change vector: (bound manager method,
+        positional args, size) per record, in record order — the replay
+        slot then applies it without re-branching on the record kind. Same
+        manager generators, same order, same arguments as
+        :meth:`_replay_records`.
+        """
+        manager = self.dest_node.manager
+        ops = []
+        for record in records:
+            kind = record.kind
+            if kind is WalRecordKind.INSERT:
+                ops.append((manager.insert, (record.shard_id, record.key, record.value), record.size))
+            elif kind is WalRecordKind.UPDATE:
+                ops.append((manager.update, (record.shard_id, record.key, record.value), record.size))
+            elif kind is WalRecordKind.DELETE:
+                ops.append((manager.delete, (record.shard_id, record.key), record.size))
+            else:
+                ops.append((manager.lock_row, (record.shard_id, record.key), record.size))
+        COUNTERS.migration_replay_coalesced += 1
+        return ops
+
+    def _replay_ops(self, shadow, ops):
+        """Generator: apply a coalesced change vector through the manager."""
+        stats = self.stats
+        for method, args, size in ops:
+            yield from method(shadow, *args, size=size)
+            stats.records_applied += 1
+
     # ------------------------------------------------------------------
     # Async replay (commit-time shipping)
     # ------------------------------------------------------------------
     def _start_async_apply(self, records, commit_ts):
         entry, predecessors, done = self._register_task(records)
+        ops = self._coalesce_changes(records) if fastpath.migration_replay else None
         self._spawn_task(
-            self._async_apply(records, commit_ts, entry, predecessors, done),
+            self._async_apply(records, commit_ts, entry, predecessors, done, ops),
             name="async-apply",
         )
 
-    def _async_apply(self, records, commit_ts, entry, predecessors, done):
+    def _async_apply(self, records, commit_ts, entry, predecessors, done, ops=None):
         shadow = None
+        slot_request = None
         holding_slot = False
         try:
             yield from self._wait_apply_gate()
             for predecessor in predecessors:
                 yield predecessor
-            yield self._slots.acquire()
+            slot_request = self._slots.acquire()
+            yield slot_request
             holding_slot = True
             yield from self._transfer_cost(records)
             shadow = self._make_shadow(records[0].start_ts)
-            yield from self._replay_records(shadow, records)
+            if ops is not None:
+                yield from self._replay_ops(shadow, ops)
+            else:
+                yield from self._replay_records(shadow, records)
             yield from self.dest_node.manager.local_commit(shadow, commit_ts)
             shadow.commit_ts = commit_ts
             shadow.state = TxnState.COMMITTED
@@ -384,6 +513,11 @@ class Propagation:
         finally:
             if holding_slot:
                 self._slots.release()
+            else:
+                # Interrupted at the acquire itself: the request may already
+                # have been granted (or still be queued) — either way it must
+                # not leak a replay slot.
+                self._slots.cancel_acquire(slot_request)
             self.pending_records -= len(records)
             self.unreplayed_records -= len(records)
             self._finish_task(entry, done)
@@ -396,24 +530,30 @@ class Propagation:
         records = self._caches.pop(xid)
         self.unreplayed_records += len(records)
         entry, predecessors, done = self._register_task(records)
+        ops = self._coalesce_changes(records) if fastpath.migration_replay else None
         self._spawn_task(
-            self._validate(xid, start_ts, records, entry, predecessors, done),
+            self._validate(xid, start_ts, records, entry, predecessors, done, ops),
             name="shadow-validate",
         )
 
-    def _validate(self, xid, start_ts, records, entry, predecessors, done):
+    def _validate(self, xid, start_ts, records, entry, predecessors, done, ops=None):
         mocc = self.mocc
         shadow = None
+        slot_request = None
         holding_slot = False
         try:
             yield from self._wait_apply_gate()
             for predecessor in predecessors:
                 yield predecessor
-            yield self._slots.acquire()
+            slot_request = self._slots.acquire()
+            yield slot_request
             holding_slot = True
             shadow = self._make_shadow(start_ts)
             yield from self._transfer_cost(records)
-            yield from self._replay_records(shadow, records)
+            if ops is not None:
+                yield from self._replay_ops(shadow, ops)
+            else:
+                yield from self._replay_records(shadow, records)
             yield from self.dest_node.manager.local_prepare(shadow)
         except (Interrupt, RpcAbort) as exc:
             # Migration torn down mid-validation (or the destination became
@@ -428,6 +568,8 @@ class Propagation:
                 self.cluster.finish_txn(shadow, committed=False)
             if holding_slot:
                 self._slots.release()
+            else:
+                self._slots.cancel_acquire(slot_request)
             self.pending_records -= len(records)
             self.unreplayed_records -= len(records)
             self._finish_task(entry, done)

@@ -17,6 +17,7 @@ the paper describes:
    data is still missing, then the source copy is dropped.
 """
 
+from repro import fastpath
 from repro.storage.clog import TxnStatus
 from repro.txn.errors import MigrationAbort
 from repro.txn.transaction import TxnState
@@ -133,7 +134,13 @@ def recover_migration(cluster, migration, residual_shadows=None):
         source_heap = source_node.heap_for(shard_id)
         dest_heap = dest_node.heap_for(shard_id)
         missing = []
-        for key in sorted(source_heap.keys()):
+        if fastpath.migration_scan:
+            # Crash-recovery retries repeat this scan; the maintained index
+            # makes each retry O(n) instead of a fresh O(n log n) sort.
+            repair_keys = list(source_heap.sorted_keys())
+        else:
+            repair_keys = sorted(source_heap.keys())
+        for key in repair_keys:
             version, _n = yield from source_heap.visible_version(key, snapshot)
             if version is None:
                 continue

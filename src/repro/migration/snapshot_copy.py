@@ -7,12 +7,35 @@ the *reserved minimal commit timestamp* so they are visible to any
 destination transaction that starts after the snapshot. The scan pins the
 vacuum horizon at the snapshot timestamp — under heavy updates to few keys
 this is what lets version chains grow (the paper's Figure 10 effect).
+
+Fast path (``fastpath.migration_scan``)
+---------------------------------------
+The indexed scan walks the heap's incrementally maintained sorted key index
+(no per-copy, per-retry O(n log n) sort), decides visibility inline through
+terminal CLOG verdicts (:meth:`~repro.storage.heap.HeapTable.
+scan_visible_fast`) and charges the per-tuple scan CPU in runs instead of
+one event per tuple. The simulated timeline is byte-identical to the
+per-tuple path:
+
+- a charge run is capped so its stale-check window stays within one WAL
+  flush. A writer that touches a chain *after* a run starts cannot reach
+  PREPARED — the only state that makes the per-tuple path block — inside
+  that window, because ``local_prepare`` flushes the prepare record
+  (>= ``wal_flush``) before the CLOG shows PREPARED. Every inline verdict
+  therefore equals the verdict the per-tuple path reaches at its own,
+  slightly later instant;
+- a non-terminal writer (IN_PROGRESS or PREPARED) flushes the deferred
+  charges first and re-checks through the blocking path at exactly the
+  per-tuple instant, so prepare-waits start on the legacy schedule;
+- deferred charges are always flushed before a batch ships, so every RPC
+  and destination install lands at the legacy instant.
 """
 
+from repro import fastpath
+from repro.profiling.counters import COUNTERS
 from repro.sim.errors import Interrupt
+from repro.storage.snapshot import UNDECIDED
 from repro.txn.errors import RpcAbort
-
-_BATCH_TUPLES = 256
 
 
 def copy_shard_snapshot(cluster, shard_id, source, dest, snapshot_ts, stats):
@@ -20,32 +43,69 @@ def copy_shard_snapshot(cluster, shard_id, source, dest, snapshot_ts, stats):
 
     Returns the number of tuples copied.
     """
+    config = cluster.config
     source_node = cluster.nodes[source]
     dest_node = cluster.nodes[dest]
     heap = source_node.heap_for(shard_id)
-    tuple_size = cluster.tables[shard_id.table].tuple_size if shard_id.table in cluster.tables else 64
-    costs = cluster.config.costs
+    if shard_id.table in cluster.tables:
+        tuple_size = cluster.tables[shard_id.table].tuple_size
+    else:
+        tuple_size = config.default_tuple_size
+    costs = config.costs
     # Shared epoch-tagged snapshot from the source's manager: carries the
     # active-xid set for introspection and is reused by concurrent readers
     # at the same timestamp instead of allocating per scan.
     snapshot = source_node.manager.read_snapshot(snapshot_ts)
+    scan_cost = costs.snapshot_scan_per_tuple
+    # Charge-run cap for the fast path: the run's stale-check window must
+    # stay within one WAL flush (see module docstring). Degenerate cost
+    # models (free scans or instant flushes) take the per-tuple path.
+    charge_run = int(costs.wal_flush / scan_cost) if scan_cost > 0 else 0
 
     copied = 0
-    keys = sorted(heap.keys())
     batch = []
-    for key in keys:
-        # Charge the scan CPU on the source; the visibility check may
-        # prepare-wait on in-doubt writers, keeping the snapshot consistent.
-        yield source_node.cpu.use(costs.snapshot_scan_per_tuple)
-        version, _traversed = yield from heap.visible_version(key, snapshot)
-        if version is None:
-            continue
-        batch.append((key, version.value))
-        if len(batch) >= _BATCH_TUPLES:
-            copied += yield from _ship_batch(
-                cluster, batch, source, dest_node, shard_id, tuple_size, costs
-            )
-            batch = []
+    if fastpath.migration_scan and charge_run >= 1:
+        cpu = source_node.cpu
+        pending = 0  # scanned tuples whose CPU charge is deferred
+        for key in list(heap.sorted_keys()):
+            pending += 1
+            version = heap.scan_visible_fast(key, snapshot)
+            if version is UNDECIDED:
+                # Flush the deferred charges so the blocking re-check (and
+                # any prepare-wait) happens at the per-tuple instant.
+                yield from _flush_scan_charges(cpu, scan_cost, pending)
+                pending = 0
+                version, _traversed = yield from heap.visible_version(key, snapshot)
+            if version is not None:
+                batch.append((key, version.value))
+                if len(batch) >= config.snapshot_batch_tuples:
+                    if pending:
+                        yield from _flush_scan_charges(cpu, scan_cost, pending)
+                        pending = 0
+                    copied += yield from _ship_batch(
+                        cluster, batch, source, dest_node, shard_id, tuple_size, costs
+                    )
+                    batch = []
+            if pending >= charge_run:
+                yield from _flush_scan_charges(cpu, scan_cost, pending)
+                pending = 0
+        if pending:
+            yield from _flush_scan_charges(cpu, scan_cost, pending)
+    else:
+        for key in sorted(heap.keys()):
+            # Charge the scan CPU on the source; the visibility check may
+            # prepare-wait on in-doubt writers, keeping the snapshot
+            # consistent.
+            yield source_node.cpu.use(scan_cost)
+            version, _traversed = yield from heap.visible_version(key, snapshot)
+            if version is None:
+                continue
+            batch.append((key, version.value))
+            if len(batch) >= config.snapshot_batch_tuples:
+                copied += yield from _ship_batch(
+                    cluster, batch, source, dest_node, shard_id, tuple_size, costs
+                )
+                batch = []
     if batch:
         copied += yield from _ship_batch(
             cluster, batch, source, dest_node, shard_id, tuple_size, costs
@@ -53,6 +113,22 @@ def copy_shard_snapshot(cluster, shard_id, source, dest, snapshot_ts, stats):
     stats.tuples_copied += copied
     stats.bytes_copied += copied * tuple_size
     return copied
+
+
+def _flush_scan_charges(cpu, scan_cost, pending):
+    """Generator: pay ``pending`` deferred per-tuple charges.
+
+    One coalesced slot occupation when a slot is free; otherwise the
+    sequential per-tuple charges, which enter the CPU queue exactly as the
+    legacy path's would.
+    """
+    done = cpu.use_run(scan_cost, pending)
+    if done is None:
+        for _ in range(pending):
+            yield cpu.use(scan_cost)
+    else:
+        yield done
+    COUNTERS.migration_scan_batches += 1
 
 
 def _ship_batch(cluster, batch, source, dest_node, shard_id, tuple_size, costs):
@@ -95,7 +171,14 @@ def copy_group_snapshot(cluster, shard_ids, source, dest, snapshot_ts, stats, ta
     if task_sink is not None:
         task_sink.extend(tasks)
     counts = yield AllOf(tasks)
-    for count in counts:
-        if isinstance(count, RpcAbort):
-            raise count
+    # Several parallel copies may fail at once; re-raise deterministically —
+    # the abort of the lowest-numbered wounded shard — rather than whichever
+    # failure the task iteration order happens to hit first.
+    aborts = [
+        (shard_id, count)
+        for shard_id, count in zip(shard_ids, counts)
+        if isinstance(count, RpcAbort)
+    ]
+    if aborts:
+        raise min(aborts, key=lambda pair: pair[0])[1]
     return sum(counts)

@@ -33,6 +33,9 @@ class FastPathCounters:
         "wal_flush_joins",
         "lock_fast_acquires",
         "lock_slow_acquires",
+        "migration_scan_batches",
+        "migration_pump_skipped",
+        "migration_replay_coalesced",
     )
 
     def __init__(self) -> None:
@@ -69,6 +72,12 @@ class FastPathCounters:
         lock_total = self.lock_fast_acquires + self.lock_slow_acquires
         if lock_total:
             out["lock_fast_ratio"] = round(self.lock_fast_acquires / lock_total, 4)
+        if self.migration_scan_batches:
+            out["migration_scan_batches"] = self.migration_scan_batches
+        if self.migration_pump_skipped:
+            out["migration_pump_skipped"] = self.migration_pump_skipped
+        if self.migration_replay_coalesced:
+            out["migration_replay_coalesced"] = self.migration_replay_coalesced
         return out
 
 

@@ -76,6 +76,25 @@ class Simulator:
         heapq.heappush(self._heap, entry)
         return entry
 
+    def schedule_at(
+        self, time: float, callback: Callable[..., object], *args: Any
+    ) -> ScheduledCall:
+        """Run ``callback(*args)`` at absolute virtual ``time``.
+
+        Exists for callers that must land on an exact precomputed instant
+        (e.g. a coalesced CPU charge reproducing the float sum of its
+        unbatched parts); ``schedule`` would recompute ``now + delay`` and
+        can drift by an ulp.
+        """
+        if time < self.now:
+            raise SimulationError(
+                "cannot schedule in the past (time={}, now={})".format(time, self.now)
+            )
+        self._seq = seq = self._seq + 1
+        entry = [time, seq, callback, args]
+        heapq.heappush(self._heap, entry)
+        return entry
+
     def cancel(self, entry: ScheduledCall) -> None:
         """Cancel a scheduled call. Cancelling twice is a harmless no-op."""
         if entry[_CALLBACK] is not None:

@@ -47,6 +47,25 @@ class Resource:
         else:
             self._in_use -= 1
 
+    def cancel_acquire(self, event):
+        """Abandon an :meth:`acquire` whose result will never be consumed.
+
+        Crash teardown can interrupt a process parked on — or just granted —
+        an acquire. Without cancellation the unit leaks: a granted event's
+        holder never calls :meth:`release`, and a queued event is later
+        granted to a dead process. Still-queued requests are withdrawn;
+        already-granted ones are released.
+        """
+        if event is None:
+            return
+        try:
+            self._queue.remove(event)
+            return
+        except ValueError:
+            pass
+        if event.triggered:
+            self.release()
+
 
 class CpuResource:
     """Models a node's CPU: ``capacity`` parallel execution slots.
@@ -77,6 +96,31 @@ class CpuResource:
         done = self.sim.event(name="cpu:{}".format(self.name))
         self._queue.append((duration, done, tag))
         self._dispatch()
+        return done
+
+    def use_run(self, unit, count, tag=None):
+        """Occupy one slot for ``count`` back-to-back charges of ``unit``.
+
+        Returns a completion event, or ``None`` when no slot is immediately
+        free — the caller must then fall back to sequential :meth:`use`
+        calls, which queue exactly as the unbatched charges would have.
+        The completion instant and the busy-bin accounting are computed
+        with the same float operations ``count`` sequential ``use(unit)``
+        calls perform (repeated addition, one ``_account`` per charge), so
+        the granted case is byte-identical to the sequential chain while
+        costing one kernel event instead of ``count``.
+        """
+        if unit < 0:
+            raise SimulationError("negative CPU duration")
+        if self._free <= 0 or self._queue:
+            return None
+        done = self.sim.event(name="cpu:{}".format(self.name))
+        self._free -= 1
+        cursor = self.sim.now
+        for _ in range(count):
+            self._account(cursor, unit)
+            cursor += unit
+        self.sim.schedule_at(cursor, self._complete, done)
         return done
 
     def _dispatch(self):

@@ -15,6 +15,8 @@ lookups at all. The verdicts — and therefore every simulated timeline — are
 identical to the slow path by construction.
 """
 
+from bisect import bisect_left, insort
+
 from repro import fastpath
 from repro.profiling.counters import COUNTERS
 from repro.storage.clog import TxnStatus
@@ -38,6 +40,12 @@ class HeapTable:
         self.shard_id = shard_id
         self._chains = {}
         self.version_count = 0
+        # Sorted key index for migration snapshot scans: built lazily on the
+        # first ``sorted_keys()`` call and maintained incrementally from then
+        # on, so repeated scans (crash-recovery retries, repair passes) stop
+        # re-sorting the whole heap. Heaps that are never scanned (e.g. the
+        # shard map replica) never pay for it.
+        self._sorted_keys = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -59,13 +67,37 @@ class HeapTable:
     def key_count(self):
         return len(self._chains)
 
+    def sorted_keys(self):
+        """The incrementally maintained sorted key index (§3.2 fast scan).
+
+        Returns the live index list — callers that scan while the heap can
+        mutate must take a copy, exactly as ``sorted(heap.keys())`` would
+        have materialised one.
+        """
+        keys = self._sorted_keys
+        if keys is None:
+            keys = self._sorted_keys = sorted(self._chains)
+        return keys
+
+    def _index_discard(self, key):
+        keys = self._sorted_keys
+        if keys is not None:
+            index = bisect_left(keys, key)
+            if index < len(keys) and keys[index] == key:
+                del keys[index]
+
     # ------------------------------------------------------------------
     # Physical mutation (called by the transaction layer under locks)
     # ------------------------------------------------------------------
     def put_version(self, key, value, xmin):
         """Prepend a new version for ``key`` created by ``xmin``."""
         version = TupleVersion(key, value, xmin)
-        self._chains.setdefault(key, []).insert(0, version)
+        chain = self._chains.get(key)
+        if chain is None:
+            chain = self._chains[key] = []
+            if self._sorted_keys is not None:
+                insort(self._sorted_keys, key)
+        chain.insert(0, version)
         self.version_count += 1
         return version
 
@@ -87,6 +119,7 @@ class HeapTable:
             self.version_count -= 1
             if not chain:
                 del self._chains[version.key]
+                self._index_discard(version.key)
 
     # ------------------------------------------------------------------
     # MVCC reads (generators: may prepare-wait via the CLOG)
@@ -194,6 +227,67 @@ class HeapTable:
     # ------------------------------------------------------------------
     # Snapshot scan (for migration snapshot copying, §3.2)
     # ------------------------------------------------------------------
+    def scan_visible_fast(self, key, snapshot):
+        """Non-blocking visibility for the batched migration scan.
+
+        Returns the visible version for ``key``, ``None`` (no visible
+        version), or :data:`UNDECIDED`. Unlike the per-version fast checks,
+        *any* non-terminal writer — IN_PROGRESS as well as PREPARED —
+        returns UNDECIDED: the batched scan inspects a key slightly before
+        the instant the per-tuple path would, and only terminal CLOG
+        verdicts (committed with a fixed timestamp, or aborted) are stable
+        across that window. An in-progress writer could be PREPARED — and
+        force a prepare-wait — by the time the legacy check would have run,
+        so the caller must flush its deferred CPU charges and re-check
+        through :meth:`visible_version` at the legacy instant.
+        """
+        if snapshot.xid is not None:
+            return UNDECIDED
+        clog = self.clog
+        stamp = fastpath.clog_hints
+        start_ts = snapshot.start_ts
+        traversed = 0
+        outcome = None
+        for version in self._chains.get(key, ()):
+            traversed += 1
+            hint = version.cts_min if stamp else None
+            if hint is None:
+                status = clog.status(version.xmin)
+                if status is TxnStatus.ABORTED:
+                    if stamp:
+                        version.cts_min = ABORTED
+                    continue
+                if status is not TxnStatus.COMMITTED:
+                    return UNDECIDED
+                hint = clog.commit_ts(version.xmin)
+                if stamp:
+                    version.cts_min = hint
+            if hint is ABORTED or hint > start_ts:
+                continue
+            # Creation visible: the row survives iff its deletion is not.
+            if version.xmax is None:
+                outcome = version
+                break
+            dhint = version.cts_max if stamp else None
+            if dhint is None:
+                status = clog.status(version.xmax)
+                if status is TxnStatus.ABORTED:
+                    if stamp:
+                        version.cts_max = ABORTED
+                    outcome = version
+                    break
+                if status is not TxnStatus.COMMITTED:
+                    return UNDECIDED
+                dhint = clog.commit_ts(version.xmax)
+                if stamp:
+                    version.cts_max = dhint
+            if dhint is ABORTED or dhint > start_ts:
+                outcome = version
+            break
+        COUNTERS.visibility_checks += 1
+        COUNTERS.visibility_versions += traversed
+        return outcome
+
     def scan_at(self, snapshot):
         """Materialise all (key, value) pairs visible to ``snapshot``.
 
@@ -202,7 +296,11 @@ class HeapTable:
         transactionally consistent.
         """
         pairs = []
-        for key in sorted(self._chains.keys()):
+        if fastpath.migration_scan:
+            keys = list(self.sorted_keys())
+        else:
+            keys = sorted(self._chains.keys())
+        for key in keys:
             version, _traversed = yield from self.visible_version(key, snapshot)
             if version is not None:
                 pairs.append((key, version.value))
@@ -259,6 +357,7 @@ class HeapTable:
                     self._chains[key] = kept
                 else:
                     del self._chains[key]
+                    self._index_discard(key)
         self.version_count -= removed
         return removed
 
@@ -269,3 +368,4 @@ class HeapTable:
         """Drop all data (used when cleaning up a migrated-away shard)."""
         self._chains.clear()
         self.version_count = 0
+        self._sorted_keys = None

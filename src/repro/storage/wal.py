@@ -129,6 +129,15 @@ class Wal:
         self._records = []
         self._appended = None  # event armed while a reader waits at the tail
         self.flush_group = FlushCoalescer(sim)
+        # Per-shard routing index for the migration pump fast path: built
+        # lazily on the first ``routing_index()`` call (nodes that never
+        # source a migration pay nothing) and maintained by ``append`` from
+        # then on. ``_route_change`` maps shard_id -> [lsn, ...] of change
+        # records; ``_route_control`` lists the control-record LSNs
+        # (prepare/commit/abort and their 2PC resolutions), which every
+        # pump must see regardless of its shard set.
+        self._route_change = None
+        self._route_control = None
 
     @property
     def tail_lsn(self):
@@ -137,12 +146,37 @@ class Wal:
 
     def append(self, record):
         """Assign the next LSN to ``record`` and append it. Returns the LSN."""
-        record.lsn = len(self._records)
+        record.lsn = lsn = len(self._records)
         self._records.append(record)
+        if self._route_change is not None:
+            if record.kind.is_change:
+                route = self._route_change.get(record.shard_id)
+                if route is None:
+                    route = self._route_change[record.shard_id] = []
+                route.append(lsn)
+            else:
+                self._route_control.append(lsn)
         if self._appended is not None:
             armed, self._appended = self._appended, None
             armed.succeed(None)
         return record.lsn
+
+    def routing_index(self):
+        """The (change-by-shard, control) LSN routing index, built lazily."""
+        if self._route_change is None:
+            change = {}
+            control = []
+            for record in self._records:
+                if record.kind.is_change:
+                    route = change.get(record.shard_id)
+                    if route is None:
+                        route = change[record.shard_id] = []
+                    route.append(record.lsn)
+                else:
+                    control.append(record.lsn)
+            self._route_change = change
+            self._route_control = control
+        return self._route_change, self._route_control
 
     def record_at(self, lsn):
         return self._records[lsn]

@@ -124,3 +124,29 @@ def test_txn_microbench_smoke():
     )
     # The kernel gate function reads the shared storms->events_per_sec shape.
     assert check_against_baseline(payload, payload, max_regression=0.30) == []
+
+
+@pytest.mark.bench
+def test_migration_microbench_smoke():
+    """The migration fast path must hold >=2x on the snapshot-copy storm.
+
+    The bar applies to the copy storm (indexed scan + inline visibility +
+    coalesced CPU charges vs per-tuple sort/events in the frozen
+    ``_legacy_migration`` loop); the pump and crash-retry storms are
+    reported and baseline-gated without a fixed multiplier. Best-of-5
+    timing keeps the ratio stable in CI.
+    """
+    from repro.bench.kernel_bench import check_against_baseline
+    from repro.bench.migration_bench import run_migration_bench
+
+    payload = run_migration_bench(smoke=True, repeats=5)
+    for storm in payload["storms"].values():
+        assert storm["events"] == storm["legacy"]["events"], (
+            "fast and legacy paths must move the identical data"
+        )
+    assert payload["speedup_vs_legacy"] >= 2.0, (
+        "migration fast path regressed below the 2x copy-storm bar: {}x".format(
+            payload["speedup_vs_legacy"]
+        )
+    )
+    assert check_against_baseline(payload, payload, max_regression=0.30) == []

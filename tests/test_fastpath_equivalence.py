@@ -57,6 +57,46 @@ def test_experiment_timeline_identical_with_fastpath_off(scenario, approach):
         assert restored.to_dict() == fast.to_dict()
 
 
+#: Only the migration data-path flags on — attributes any divergence to the
+#: indexed scan / routed pump / batched replay specifically, with the txn
+#: fast paths held at their legacy behavior.
+_MIGRATION_ONLY = {
+    "clog_hints": False,
+    "snapshot_cache": False,
+    "group_commit": False,
+    "lock_fastpath": False,
+    "migration_scan": True,
+    "migration_pump": True,
+    "migration_replay": True,
+}
+
+
+@pytest.mark.parametrize("scenario,approach", _CELLS)
+def test_migration_fastpath_alone_is_invisible(scenario, approach):
+    for seed in _SEEDS:
+        with fastpath.overridden(**_MIGRATION_ONLY):
+            fast = _run_cell(scenario, approach, seed)
+        with fastpath.all_disabled():
+            slow = _run_cell(scenario, approach, seed)
+        assert canonical_json(fast.to_dict()) == canonical_json(slow.to_dict()), (
+            "migration fast path changed the {}/{} timeline at seed {}".format(
+                scenario, approach, seed
+            )
+        )
+
+
+def test_commit_timeline_identical_with_migration_fastpath_only():
+    from tests.test_determinism import run_once
+
+    with fastpath.overridden(**_MIGRATION_ONLY):
+        fast_commits, fast_dump, fast_copied = run_once(seed=11)
+    with fastpath.all_disabled():
+        slow_commits, slow_dump, slow_copied = run_once(seed=11)
+    assert fast_commits == slow_commits
+    assert fast_dump == slow_dump
+    assert fast_copied == slow_copied
+
+
 def test_commit_timeline_identical_with_fastpath_off():
     """Tuple-level check: every commit time/latency and the final table."""
     from tests.test_determinism import run_once

@@ -191,3 +191,50 @@ def test_residual_prepared_shadow_committed_iff_source_committed():
         assert dump[keys[0]] == {"f0": "recovered"}
     else:
         assert dump[keys[0]] == {"f0": keys[0]}
+
+
+def test_lossy_destination_mid_replay_wounds_and_recovers():
+    """A destination link that turns lossy mid-replay must surface through
+    ``Propagation.wounded`` (never a hang), trigger supervised crash
+    recovery, and leave no replay slot leaked."""
+    from repro.migration import MigrationPlan
+    from repro.migration.supervisor import MigrationSupervisor
+
+    cluster, workload = build()
+    pool = workload.make_clients()
+    pool.start()
+    cluster.run(until=0.5)
+    shard = cluster.shards_on_node("node-1", table="ycsb")[0]
+    plan = MigrationPlan(RemusMigration, [([shard], "node-1", "node-2")])
+    supervisor = MigrationSupervisor(cluster, plan)
+    proc = cluster.spawn(supervisor.run(), name="supervised-plan")
+
+    wounded_pipelines = []
+
+    def nemesis():
+        # Fire at the exact async-propagation phase entry: the buffered
+        # replay burst is about to ship, so its transfers hit the dead link.
+        yield supervisor.phase_event("async_propagation")
+        propagation = supervisor.current.propagation
+        cluster.network.set_loss("node-1", "node-2", 1.0)
+        while propagation.wounded is None:
+            yield 0.01
+        wounded_pipelines.append(propagation)
+        yield 0.2  # keep the link down through the watchdog's crash
+        cluster.network.set_loss("node-1", "node-2", 0.0)
+
+    cluster.spawn(nemesis(), name="nemesis")
+    cluster.run(until=60.0)
+    assert proc.finished
+    pool.stop()
+    cluster.run(until=cluster.sim.now + 1.0)
+
+    assert wounded_pipelines, "the lossy link never wounded the pipeline"
+    propagation = wounded_pipelines[0]
+    # No leaked replay slots: every interrupted task released its slot.
+    assert propagation._slots.in_use == 0
+    assert propagation._slots.queued == 0
+    assert plan.stats.crash_recoveries >= 1
+    # Recovery (plus the batch retry) finished the move without losing data.
+    assert cluster.shard_owner(shard) == "node-2"
+    assert len(cluster.dump_table("ycsb")) == workload.config.num_tuples

@@ -32,6 +32,27 @@ def test_resource_release_without_acquire_errors():
         res.release()
 
 
+def test_cancel_acquire_releases_granted_and_withdraws_queued():
+    """An abandoned acquire must not leak: a granted request is released,
+    a still-queued request is withdrawn (never handed to a dead waiter)."""
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    granted = res.acquire()
+    assert res.in_use == 1
+    queued = res.acquire()
+    assert res.queued == 1
+
+    res.cancel_acquire(queued)
+    assert res.queued == 0
+    res.cancel_acquire(granted)
+    assert res.in_use == 0
+    res.cancel_acquire(None)  # no-op for a request that never happened
+
+    # The freed unit is immediately grantable again.
+    assert res.acquire().triggered
+    assert res.in_use == 1
+
+
 def test_cpu_serializes_beyond_capacity():
     sim = Simulator()
     cpu = CpuResource(sim, capacity=1)

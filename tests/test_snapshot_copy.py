@@ -101,6 +101,35 @@ def test_group_copy_copies_all_shards_in_parallel(cluster):
     assert total == expected
 
 
+def test_group_copy_raises_lowest_wounded_shard_abort(cluster, monkeypatch):
+    """Two parallel shard copies fail: the abort that surfaces must be the
+    lowest shard id's, regardless of which copy failed first in time."""
+    from repro.migration import snapshot_copy
+    from repro.txn.errors import RpcAbort
+
+    shards = sorted(cluster.tables["t"].shard_ids())
+    assert len(shards) >= 2
+    raised = {}
+
+    def wounded_copy(cluster_, shard_id, source, dest, snapshot_ts_, stats_):
+        exc = RpcAbort("destination unreachable from {}".format(shard_id))
+        raised[shard_id] = exc
+        # The *higher* shard fails first, so a first-failure-wins
+        # implementation would raise the wrong abort.
+        yield 0.01 if shard_id == shards[0] else 0.0
+        raise exc
+
+    monkeypatch.setattr(snapshot_copy, "copy_shard_snapshot", wounded_copy)
+    proc = cluster.spawn(
+        copy_group_snapshot(
+            cluster, shards, "node-1", "node-2", 0, MigrationStats()
+        )
+    )
+    with pytest.raises(RpcAbort) as info:
+        cluster.sim.run_until_complete(proc)
+    assert info.value is raised[shards[0]]
+
+
 def test_copy_takes_time_proportional_to_tuples(cluster):
     from repro.config import CostModel
 
