@@ -8,6 +8,8 @@ Examples::
     python -m repro experiment high_contention
     python -m repro chaos --seed 3
     python -m repro chaos --fault-plan "crash:node-2@1.0; partition:node-1|node-3@2.0+0.5"
+    python -m repro failover --seed 1 --phase async_propagation
+    python -m repro failover --compare
     python -m repro bench --smoke
     python -m repro sweep --scenario hybrid_a --seeds 4 --jobs 4
     python -m repro lint --format json
@@ -104,6 +106,66 @@ def _print_chaos_result(result):
     print("finished at t={:.3f}s".format(result.finished_at))
 
 
+def _run_failover(args):
+    from repro.experiments.failover import (
+        FailoverConfig,
+        run_failover,
+        run_remaster_comparison,
+    )
+
+    config = FailoverConfig(seed=args.seed, crash_phase=args.phase)
+    if args.fault_plan:
+        from repro.faults.plan import FaultPlan
+
+        try:
+            FaultPlan.parse(args.fault_plan)
+        except ValueError as exc:
+            print("error: bad --fault-plan: {}".format(exc), file=sys.stderr)
+            return 2
+        config.fault_spec = args.fault_plan
+    if args.compare:
+        out = run_remaster_comparison(config)
+        print("remaster comparison (seed={})".format(config.seed))
+        print("  remus full copy:    {} bytes, {} tuples".format(
+            out["remus_bytes"], out["remus_tuples"]))
+        print("  wait_and_remaster:  {} bytes, {} tuples".format(
+            out["remaster_bytes"], out["remaster_tuples"]))
+        return 0
+    result = run_failover(config)
+    _print_failover_result(result)
+    return 0
+
+
+def _print_failover_result(result):
+    print("failover run (seed={}, crash phase={})".format(
+        result.seed, result.crash_phase))
+    print()
+    print("fault plan:")
+    for line in result.fault_plan.splitlines():
+        print("  " + line)
+    print()
+    print("fault / election / recovery timeline:")
+    interesting = ("fault:", "heal:", "failover_election", "replica_crash",
+                   "replica_heal", "rehome", "migration_crash",
+                   "migration_recovered", "batch_skipped")
+    for t, name in result.marks:
+        if any(name.startswith(p) for p in interesting):
+            print("  {:>8.3f}s  {}".format(t, name))
+    for t, description in result.supervisor_events:
+        print("  {:>8.3f}s  supervisor: {}".format(t, description))
+    stats = result.plan_stats
+    print()
+    print("committed increments: {}".format(result.committed))
+    print("elections: {}  stale-epoch rejects: {}  ship batches: {}".format(
+        result.failover_elections, result.stale_epoch_rejects,
+        result.repl_ship_batches))
+    print("group epochs: {}".format(result.epochs))
+    print("crash recoveries: {}  batch retries: {}  batches skipped: {}".format(
+        stats.crash_recoveries, stats.migration_retries, stats.batches_skipped))
+    print("invariant violations: {}".format(len(result.violations)))
+    print("finished at t={:.3f}s".format(result.finished_at))
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -170,6 +232,33 @@ def main(argv=None):
         type=int,
         default=None,
         help="approximate number of random faults (ignored with --fault-plan)",
+    )
+
+    failover = sub.add_parser(
+        "failover",
+        help="replicated-shard migration under leader/follower crashes "
+        "with election, epoch-fenced 2PC and invariant checks",
+    )
+    failover.add_argument("--seed", type=int, default=0)
+    failover.add_argument(
+        "--phase",
+        default="snapshot_copy",
+        choices=("snapshot_copy", "async_propagation", "mode_change",
+                 "dual_execution"),
+        help="migration phase the leader crash targets",
+    )
+    failover.add_argument(
+        "--fault-plan",
+        default=None,
+        help="explicit fault spec, e.g. "
+        "'crash_leader:counters:0:snapshot_copy@0.3+1.0' "
+        "(default: a phase-targeted leader crash on the migrating shard)",
+    )
+    failover.add_argument(
+        "--compare",
+        action="store_true",
+        help="instead of the soak, compare bytes moved: Remus full copy vs "
+        "wait-and-remaster onto an in-sync follower",
     )
 
     from repro.bench.cli import add_bench_arguments, add_sweep_arguments
@@ -251,6 +340,8 @@ def main(argv=None):
         return 0
     if args.command == "chaos":
         return _run_chaos(args)
+    if args.command == "failover":
+        return _run_failover(args)
     if args.command == "bench":
         from repro.bench.cli import run_bench_command
 

@@ -9,6 +9,7 @@ protocol hooks (access hooks, the routing gate, cache read-through control).
 
 from repro.cluster.coordinator import Session
 from repro.cluster.node import Node
+from repro.cluster.replication import ReplicationManager
 from repro.cluster.shard import HashPartitioner, ShardId, TableSchema
 from repro.cluster.shardmap import BOOTSTRAP_XID
 from repro.config import ClusterConfig
@@ -51,6 +52,7 @@ class Cluster:
         self._access_hooks = {}  # shard_id -> [hook]
         self._quiesce_waiters = []
         self._vacuum_holds = []
+        self.replication = ReplicationManager(self)
         self.rpc_stats = RpcStats()
         self.rpc_policy = RetryPolicy(
             timeout=self.config.rpc_timeout,
@@ -208,6 +210,12 @@ class Cluster:
         for shard_id, rows in by_shard.items():
             owner = self.shard_owners[shard_id]
             self.nodes[owner].bulk_install(shard_id, rows)
+
+    def enable_replication(self, table, n_followers=2):
+        """Wrap every shard of ``table`` in a leader+followers replication
+        group (call after :meth:`bulk_load`; the followers are seeded from
+        the leader's committed state)."""
+        return self.replication.enable_replication(table, n_followers)
 
     def shard_owner(self, shard_id):
         return self.shard_owners[shard_id]

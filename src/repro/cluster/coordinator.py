@@ -149,6 +149,12 @@ class Session:
                     self.node_id, participant.node_id, _RPC_SIZE
                 )
             yield from node.manager.local_prepare(txn)
+            if self.cluster.replication.groups:
+                # Reconfiguration-aware 2PC: reject stale-epoch prepares and
+                # wait for the prepare to reach a quorum of the shard group.
+                yield from self.cluster.replication.after_local_prepare(
+                    txn, participant
+                )
             ack_ts = self.oracle.local_now(participant.node_id)
             if remote:
                 yield from self.cluster.rpc_send(
@@ -174,6 +180,12 @@ class Session:
             )
         self.oracle.observe(participant.node_id, commit_ts)
         yield from node.manager.local_commit(txn, commit_ts)
+        if self.cluster.replication.groups:
+            # Quorum-replicate the decision; if the shard's leader moved
+            # between prepare and commit, re-route it (exactly once).
+            yield from self.cluster.replication.after_local_commit(
+                txn, participant, commit_ts
+            )
 
     # ------------------------------------------------------------------
     # Statement execution
@@ -224,6 +236,8 @@ class Session:
         for shard_id in schema.shard_ids():
             yield self.node.cpu.use(self.costs.client_overhead)
             owner = yield from self._route(txn, shard_id)
+            if self.cluster.replication.groups:
+                self.cluster.replication.on_route(txn, shard_id, owner)
             yield from self.cluster.run_access_hooks(txn, shard_id, owner, None, False)
             target = self.cluster.nodes[owner]
             if target.failed:
@@ -251,6 +265,8 @@ class Session:
         shard_id = schema.shard_for_key(key)
         yield self.node.cpu.use(self.costs.client_overhead)
         owner = yield from self._route(txn, shard_id)
+        if self.cluster.replication.groups:
+            self.cluster.replication.on_route(txn, shard_id, owner)
         is_write = op != "read"
         target = self.cluster.nodes[owner]
         if target.failed:

@@ -65,4 +65,12 @@ class ClusterConfig:
     pump_batch_records: int = 64  # WAL records per send-process CPU charge
     propagation_msg_overhead: int = 128  # protocol bytes per shipped message
     default_tuple_size: int = 64  # bytes for tables with no declared size
+    # Per-shard replication groups (leader + N followers, WAL shipping,
+    # quorum-acked commit). The lease monitor declares a leader dead after
+    # repl_lease_timeout without a heartbeat and elects the lowest live
+    # replica id; repl_ship_batch bounds records per shipped group-log entry
+    # message for the per-follower feed.
+    repl_lease_interval: float = 0.05
+    repl_lease_timeout: float = 0.2
+    repl_ship_batch: int = 64
     seed: int = 0

@@ -1,0 +1,269 @@
+"""Failover soak: migrate a replicated shard while its replicas crash.
+
+The scenario family behind the replicated-shard robustness claims:
+
+* every ``counters`` shard runs as a leader + N followers replication
+  group with quorum-acknowledged commit (:mod:`repro.cluster.replication`);
+* a supervised Remus consolidation drains one node while a contended
+  counter workload runs;
+* the nemesis crashes the migrating shard's **group leader** exactly when
+  the migration enters a chosen phase (snapshot copy or async
+  propagation), forcing a lease-based election, an epoch bump, stale-epoch
+  2PC rejections and a supervisor-driven migration recovery — all at once;
+* the :class:`~repro.faults.invariants.InvariantChecker` watches
+  single-owner, no-dual-leader and replica-divergence invariants
+  throughout, and the run ends with the no-lost-updates counter audit plus
+  a full leader-vs-follower state comparison.
+
+Runs are fully determined by ``(config, seed)``; the metrics mark stream
+doubles as a replayable timeline, exactly as in the chaos soak.
+
+:func:`run_remaster_comparison` is the STAR-style asymmetric-availability
+probe: migrating a replicated shard onto a node that already holds an
+in-sync follower (wait-and-remaster) must move strictly less data than a
+full Remus copy onto a fresh node.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.experiments.common import (
+    build_cluster,
+    check_no_crashes,
+    run_until_finished,
+)
+from repro.faults import FaultPlan, InvariantChecker, Nemesis
+from repro.faults.plan import Fault
+from repro.migration import (
+    MigrationPlan,
+    MigrationSupervisor,
+    RemusMigration,
+    WaitAndRemasterMigration,
+)
+from repro.profiling import COUNTERS
+from repro.workloads.client import run_transaction
+
+TABLE = "counters"
+
+
+@dataclass
+class FailoverConfig:
+    """Scaled-down replicated consolidation for multi-seed soaks."""
+
+    num_nodes: int = 4
+    num_keys: int = 120
+    num_shards: int = 4
+    n_followers: int = 2
+    num_clients: int = 6
+    think_time: float = 0.002
+    warmup: float = 0.25  # workload-only time before the plan starts
+    snapshot_cost: float = 1.5e-3  # stretches the copy so crashes land inside
+    batch_pause: float = 0.3
+    crash_phase: str = "snapshot_copy"  # when the leader crash fires
+    crash_at: float = 0.3  # earliest time the phase wait is armed
+    crash_duration: float = 1.2  # leader heals (as a follower) after this
+    follow_crash: bool = False  # also crash a follower later in the run
+    fault_spec: str = None  # explicit plan spec; None => phase-targeted crash
+    max_sim_time: float = 90.0
+    settle: float = 3.0  # post-plan drain (election, catch-up, final ticks)
+    seed: int = 0
+
+    def make_costs(self):
+        from repro.config import CostModel
+
+        return CostModel(snapshot_scan_per_tuple=self.snapshot_cost)
+
+
+@dataclass
+class FailoverResult:
+    """Outcome of one failover soak iteration."""
+
+    seed: int
+    crash_phase: str = ""
+    committed: int = 0
+    violations: list = field(default_factory=list)
+    fault_plan: str = ""
+    nemesis_timeline: list = field(default_factory=list)
+    supervisor_events: list = field(default_factory=list)
+    marks: list = field(default_factory=list)  # (time, name): event timeline
+    plan_stats: object = None
+    epochs: dict = field(default_factory=dict)  # shard -> final group epoch
+    failover_elections: int = 0
+    stale_epoch_rejects: int = 0
+    repl_ship_batches: int = 0
+    finished_at: float = 0.0
+
+    def timeline_signature(self):
+        """Hashable replay signature: the full metrics mark stream plus the
+        commit count. Two runs of the same seed must produce equal values."""
+        return (tuple(self.marks), self.committed)
+
+
+def _increment_body(key):
+    def body(session, txn):
+        row = yield from session.read(txn, TABLE, key)
+        yield from session.update(txn, TABLE, key, {"n": row["n"] + 1})
+
+    return body
+
+
+def _build_replicated(config):
+    """Cluster + replicated counters table, loaded and group-started."""
+    cluster = build_cluster(
+        config.num_nodes, "remus", seed=config.seed, costs=config.make_costs()
+    )
+    cluster.create_table(TABLE, num_shards=config.num_shards, tuple_size=64)
+    cluster.bulk_load(TABLE, [(k, {"n": 0}) for k in range(config.num_keys)])
+    cluster.enable_replication(TABLE, n_followers=config.n_followers)
+    return cluster
+
+
+def run_failover(config=None):
+    """Run one failover soak iteration; returns a :class:`FailoverResult`.
+
+    Raises if any invariant is violated (including replica divergence and
+    dual leadership), a background process crashes, the counter audit finds
+    a lost update, or the supervised plan wedges."""
+    config = config or FailoverConfig()
+    COUNTERS.reset()
+    cluster = _build_replicated(config)
+    node_ids = cluster.node_ids()
+
+    state = {"running": True, "committed": 0}
+
+    def client(client_id):
+        rng = cluster.sim.rng("failover-client-{}".format(client_id))
+        session = cluster.session(node_ids[client_id % len(node_ids)])
+
+        def loop():
+            while state["running"]:
+                key = rng.randint(0, config.num_keys - 1)
+                ok, _err = yield from run_transaction(
+                    session, _increment_body(key), label="inc"
+                )
+                if ok:
+                    state["committed"] += 1
+                yield config.think_time
+
+        return loop()
+
+    for i in range(config.num_clients):
+        cluster.spawn(client(i), name="failover-client-{}".format(i))
+
+    # Supervised Remus migration of one replicated shard from node-1 to the
+    # node *outside* its replication group — the full copy + propagation
+    # protocol (a member destination would take the remaster fast path and
+    # never exercise the crash-mid-copy recovery this soak is about).
+    target_shard = cluster.shards_on_node("node-1", table=TABLE)[0]
+    member_nodes = {
+        replica.node_id
+        for replica in cluster.replication.group_for(target_shard).replicas
+    }
+    dest = min(n for n in node_ids if n not in member_nodes)
+    batches = [([target_shard], "node-1", dest)]
+    plan = MigrationPlan(RemusMigration, batches, pause=config.batch_pause)
+    supervisor = MigrationSupervisor(cluster, plan)
+
+    def supervised():
+        yield config.warmup
+        result = yield from supervisor.run()
+        return result
+
+    plan_proc = cluster.spawn(supervised(), name="failover-consolidation")
+
+    # Fault plan: crash the migrating shard's group leader once the
+    # migration reaches the configured phase (plus, optionally, a later
+    # follower crash on the same shard).
+    if config.fault_spec:
+        fault_plan = FaultPlan.parse(config.fault_spec)
+    else:
+        faults = [
+            Fault(
+                "crash_leader",
+                at=config.crash_at,
+                shard=(target_shard.table, target_shard.index),
+                phase=config.crash_phase,
+                duration=config.crash_duration,
+            )
+        ]
+        if config.follow_crash:
+            faults.append(
+                Fault(
+                    "crash_follower",
+                    at=config.crash_at + 1.5,
+                    shard=(target_shard.table, target_shard.index),
+                    duration=config.crash_duration,
+                )
+            )
+        fault_plan = FaultPlan(faults)
+    nemesis = Nemesis(cluster, fault_plan, supervisor=supervisor)
+    cluster.spawn(nemesis.run(), name="nemesis")
+    checker = InvariantChecker(cluster, supervisor=supervisor)
+    cluster.spawn(checker.run(), name="invariant-checker")
+
+    run_until_finished(
+        cluster, plan_proc, config.max_sim_time, what="supervised failover plan"
+    )
+    plan_proc.result()
+
+    # Drain: stop clients, let the election/catch-up settle, final audits.
+    state["running"] = False
+    cluster.run(until=cluster.sim.now + config.settle)
+    checker.check_once()
+    checker.final_check(TABLE, state["committed"])
+    checker.final_replication_check()
+    check_no_crashes(cluster)
+
+    result = FailoverResult(seed=config.seed, crash_phase=config.crash_phase)
+    result.committed = state["committed"]
+    result.violations = list(checker.violations)
+    result.fault_plan = fault_plan.describe()
+    result.nemesis_timeline = list(nemesis.timeline)
+    result.supervisor_events = list(supervisor.events)
+    result.marks = list(cluster.metrics.marks)
+    result.plan_stats = plan.stats
+    result.epochs = {
+        str(group.shard_id): group.epoch
+        for group in cluster.replication.sorted_groups()
+    }
+    result.failover_elections = COUNTERS.failover_elections
+    result.stale_epoch_rejects = COUNTERS.stale_epoch_rejects
+    result.repl_ship_batches = COUNTERS.repl_ship_batches
+    result.finished_at = cluster.sim.now
+    return result
+
+
+def run_remaster_comparison(config=None):
+    """STAR-style probe: bytes moved by a full Remus copy onto a fresh node
+    vs wait-and-remaster onto a node already holding an in-sync follower.
+
+    Returns ``{"remus_bytes": ..., "remaster_bytes": ..., "remus_tuples":
+    ..., "remaster_tuples": ...}``; the remaster path must move strictly
+    less (its destination already replicates the data)."""
+    config = config or FailoverConfig()
+    out = {}
+    for approach, cls in (
+        ("remus", RemusMigration),
+        ("remaster", WaitAndRemasterMigration),
+    ):
+        cluster = _build_replicated(config)
+        shard_id = cluster.shards_on_node("node-1", table=TABLE)[0]
+        group = cluster.replication.group_for(shard_id)
+        member_nodes = {replica.node_id for replica in group.replicas}
+        if approach == "remaster":
+            # Onto an in-sync follower: the prepositioned fast path.
+            dest = min(
+                n for n in sorted(member_nodes) if n != group.leader_node_id
+            )
+        else:
+            # Onto a fresh node: the full copy the comparison is against.
+            dest = min(n for n in cluster.node_ids() if n not in member_nodes)
+        migration = cls(cluster, [shard_id], "node-1", dest)
+        proc = cluster.spawn(migration.run(), name="compare-{}".format(approach))
+        run_until_finished(
+            cluster, proc, config.max_sim_time, what="comparison migration"
+        )
+        check_no_crashes(cluster)
+        assert cluster.shard_owner(shard_id) == dest
+        out["{}_bytes".format(approach)] = migration.stats.bytes_copied
+        out["{}_tuples".format(approach)] = migration.stats.tuples_copied
+    return out

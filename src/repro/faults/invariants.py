@@ -57,6 +57,7 @@ class InvariantChecker:
         self._check_single_owner()
         self._check_cache_coherence()
         self._check_prepared_orphans()
+        self._check_replication()
 
     def assert_ok(self):
         if self.violations:
@@ -77,6 +78,41 @@ class InvariantChecker:
                     table, total, expected_sum
                 )
             )
+        self.assert_ok()
+
+    def final_replication_check(self):
+        """At quiescence every live follower must hold exactly the leader's
+        committed key -> value map, and every live replica must have applied
+        the entire group log (replica convergence)."""
+        for group in self.cluster.replication.sorted_groups():
+            leader_node = self.cluster.nodes[group.leader_node_id]
+            want = dict(group._committed_rows(leader_node))
+            for replica in group.live_replicas():
+                if replica.next_index != len(group.log):
+                    self._violate(
+                        "replica {} of {} stopped at log index {} of {}".format(
+                            replica.node_id, group.shard_id,
+                            replica.next_index, len(group.log),
+                        )
+                    )
+                if replica.replica_id == group.leader_id:
+                    continue
+                node = self.cluster.nodes[replica.node_id]
+                got = dict(group._committed_rows(node))
+                if got != want:
+                    extra = sorted(set(got) - set(want))[:3]
+                    missing = sorted(set(want) - set(got))[:3]
+                    differ = sorted(
+                        k for k in sorted(set(got) & set(want))
+                        if got[k] != want[k]
+                    )[:3]
+                    self._violate(
+                        "replica divergence on {}: follower {} vs leader {} "
+                        "(missing={} extra={} differ={})".format(
+                            group.shard_id, replica.node_id,
+                            group.leader_node_id, missing, extra, differ,
+                        )
+                    )
         self.assert_ok()
 
     # ------------------------------------------------------------------
@@ -170,6 +206,66 @@ class InvariantChecker:
                     "orphaned PREPARED xid {} on {} (no live transaction "
                     "references it)".format(xid, node_id),
                 )
+
+    def _check_replication(self):
+        """Replication-group safety under faults:
+
+        * **no dual leader** — each group has exactly one leader, and (when
+          no migration/recovery is perturbing routing) the authoritative
+          shard map routes the shard to that leader's node;
+        * **log-prefix consistency** — no replica claims to have applied
+          more entries than the group log holds, and a replica's rolling
+          fingerprint matches the log entry at its applied position (a
+          mismatch means it applied a *different* prefix — divergence).
+        """
+        for group in self.cluster.replication.sorted_groups():
+            log_len = len(group.log)
+            for replica in group.replicas:
+                if replica.next_index > log_len:
+                    self._violate(
+                        "replica {} of {} ahead of the group log "
+                        "({} > {})".format(
+                            replica.node_id, group.shard_id,
+                            replica.next_index, log_len,
+                        )
+                    )
+                elif replica.next_index > 0:
+                    entry = group.log[replica.next_index - 1]
+                    if replica.applied_sig != entry.sig:
+                        self._violate(
+                            "replica {} of {} diverged: fingerprint {} != "
+                            "log fingerprint {} at index {}".format(
+                                replica.node_id, group.shard_id,
+                                replica.applied_sig, entry.sig,
+                                replica.next_index - 1,
+                            )
+                        )
+            leaders = [
+                r for r in group.replicas if r.replica_id == group.leader_id
+            ]
+            if len(leaders) != 1:
+                self._violate(
+                    "group {} has {} leaders".format(group.shard_id, len(leaders))
+                )
+                continue
+            if self._migration_in_flight():
+                self._clear_suspects("leader:")
+                continue
+            owner = self.cluster.shard_owner(group.shard_id)
+            key = "leader:{}".format(group.shard_id)
+            if owner != group.leader_node_id:
+                # Transiently legal mid-election (the epoch-bumped shard-map
+                # install is in flight); persistent disagreement means two
+                # nodes can both believe they master the shard.
+                self._suspect(
+                    key,
+                    "shard map routes {} to {} but group leader is {} "
+                    "(epoch {})".format(
+                        group.shard_id, owner, group.leader_node_id, group.epoch
+                    ),
+                )
+            else:
+                self._suspects.pop(key, None)
 
     # ------------------------------------------------------------------
     def _suspect(self, key, description):

@@ -40,6 +40,12 @@ class Nemesis:
         yield from handler(fault)
 
     def _inject_crash_node(self, fault):
+        if self.cluster.nodes[fault.node].failed:
+            # Crashing a node that is already down is an idempotent no-op:
+            # random plans may double-target a node, and re-crashing it would
+            # restart its failover clock and double-fire recovery hooks.
+            self._note("fault:crash_node:{}:noop (already down)".format(fault.node))
+            return
         self._note("fault:crash_node:{}".format(fault.node))
         supervisor = self.supervisor
         if supervisor is not None and supervisor.current is not None:
@@ -50,6 +56,61 @@ class Nemesis:
         self.cluster.fail_node(fault.node, failover_time=fault.failover)
         return
         yield  # pragma: no cover - makes this a generator
+
+    def _inject_crash_leader(self, fault):
+        yield from self._crash_replica(fault, leader=True)
+
+    def _inject_crash_follower(self, fault):
+        yield from self._crash_replica(fault, leader=False)
+
+    def _crash_replica(self, fault, leader):
+        """Crash one member of a shard's replication group, heal it after
+        ``fault.duration``. Leader crashes exercise lease-based election and
+        the 2PC stale-epoch retry path; follower crashes exercise quorum
+        commit with a degraded group and catch-up on heal. A ``phase`` on
+        the fault delays the crash until a supervised migration enters that
+        phase (bounded by ``phase_wait``) — how soaks land a replica crash
+        exactly mid-copy or mid-propagation."""
+        from repro.cluster.shard import ShardId
+
+        kind = "crash_leader" if leader else "crash_follower"
+        if fault.phase is not None and self.supervisor is not None:
+            from repro.sim.events import AnyOf, Timeout
+
+            if self.supervisor.current_phase() != fault.phase:
+                yield AnyOf(
+                    [self.supervisor.phase_event(fault.phase), Timeout(self.phase_wait)]
+                )
+        shard_id = ShardId(*fault.shard)
+        group = self.cluster.replication.group_for(shard_id)
+        if group is None:
+            self._note("fault:{}:skipped (unreplicated {})".format(kind, shard_id))
+            return
+        if leader:
+            target = group.leader
+        else:
+            followers = [r for r in group.live_followers()]
+            if not followers:
+                self._note("fault:{}:skipped (no live follower)".format(kind))
+                return
+            target = min(followers, key=lambda r: r.replica_id)
+        if group.replica_down(target):
+            self._note("fault:{}:noop (already down)".format(kind))
+            return
+        node_id = target.node_id
+        self._note("fault:{}:{}:{}".format(kind, shard_id, node_id))
+        supervisor = self.supervisor
+        if supervisor is not None and supervisor.current is not None:
+            migration = supervisor.current
+            if node_id in (migration.source, migration.dest):
+                supervisor.crash_current(
+                    "replica {} crashed".format(node_id)
+                )
+        group.crash_replica(node_id)
+        if fault.duration:
+            yield fault.duration
+            group.heal_replica(node_id)
+            self._note("heal:{}:{}:{}".format(kind, shard_id, node_id))
 
     def _inject_partition(self, fault):
         network = self.cluster.network

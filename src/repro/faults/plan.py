@@ -20,6 +20,10 @@ Spec grammar, one fault per ``;``-separated token::
     stall:<node>@<at>+<duration>            WAL flushes block until at+duration
     mcrash@<at>                             crash the in-flight migration
     mcrash:<phase>@<at>                     ... once it reaches <phase>
+    crash_leader:<table>:<idx>@<at>+<dur>   crash the shard's group leader
+    crash_follower:<table>:<idx>@<at>+<dur> crash its lowest live follower
+    crash_leader:<table>:<idx>:<phase>@<at>+<dur>  ... once a supervised
+                                            migration reaches <phase>
 """
 
 from dataclasses import dataclass, field
@@ -31,6 +35,8 @@ KINDS = (
     "latency",
     "stall",
     "crash_migration",
+    "crash_leader",
+    "crash_follower",
 )
 
 _ALIASES = {"crash": "crash_node", "mcrash": "crash_migration"}
@@ -51,6 +57,7 @@ class Fault:
     value: float = 0.0  # loss probability / extra latency seconds
     phase: str = None  # crash_migration: fire when this phase is reached
     failover: float = 0.5  # crash_node: replica promotion delay
+    shard: tuple = None  # crash_leader/crash_follower: (table, index) target
 
     def describe(self):
         parts = ["{:>8.3f}s {}".format(self.at, self.kind)]
@@ -58,6 +65,8 @@ class Fault:
             parts.append(self.node)
         if self.peer is not None:
             parts.append("<->" + self.peer)
+        if self.shard is not None:
+            parts.append("{}:{}".format(self.shard[0], self.shard[1]))
         if self.phase is not None:
             parts.append("phase=" + self.phase)
         if self.value:
@@ -162,6 +171,59 @@ class FaultPlan:
             )
         return cls(faults)
 
+    @classmethod
+    def random_replicated(cls, rng, node_ids, shards, horizon, extra_faults=1):
+        """Randomized plan for replicated-shard soaks.
+
+        A separate constructor (not new draws inside :meth:`random`) because
+        tests pin :meth:`random`'s exact RNG draw sequence. Every plan
+        contains a leader crash, a follower crash and a phase-targeted
+        migration crash over the replicated ``shards``, plus ``extra_faults``
+        network draws.
+        """
+        node_ids = list(node_ids)
+        shards = [tuple(s) for s in shards]
+        faults = [
+            Fault(
+                "crash_leader",
+                at=rng.uniform(0.1, horizon * 0.5),
+                shard=rng.choice(shards),
+                duration=rng.uniform(0.5, min(2.0, horizon * 0.4)),
+            ),
+            Fault(
+                "crash_follower",
+                at=rng.uniform(0.1, horizon * 0.7),
+                shard=rng.choice(shards),
+                duration=rng.uniform(0.3, min(1.5, horizon * 0.3)),
+            ),
+            Fault(
+                "crash_migration",
+                at=rng.uniform(0.05, horizon * 0.5),
+                phase=rng.choice(PHASES),
+            ),
+        ]
+        for _ in range(extra_faults):
+            kind = rng.choice(("loss", "latency", "partition"))
+            a, b = rng.sample(node_ids, 2)
+            duration = rng.uniform(0.1, min(1.0, horizon * 0.2))
+            if kind == "loss":
+                value = rng.uniform(0.05, 0.3)
+            elif kind == "latency":
+                value = rng.uniform(0.005, 0.05)
+            else:
+                value = 0.0
+            faults.append(
+                Fault(
+                    kind,
+                    at=rng.uniform(0.05, horizon * 0.8),
+                    node=a,
+                    peer=b,
+                    duration=duration,
+                    value=value,
+                )
+            )
+        return cls(faults)
+
 
 def _parse_fault(token):
     if "@" not in token:
@@ -196,6 +258,21 @@ def _parse_fault(token):
         if phase is not None and phase not in PHASES:
             raise ValueError("unknown phase {!r} in {!r}".format(phase, token))
         return Fault(kind, at=at, phase=phase)
+    if kind in ("crash_leader", "crash_follower"):
+        if len(parts) not in (3, 4):
+            raise ValueError("malformed fault {!r}".format(token))
+        try:
+            index = int(parts[2])
+        except ValueError:
+            raise ValueError(
+                "bad shard index {!r} in {!r}".format(parts[2], token)
+            ) from None
+        phase = parts[3] if len(parts) == 4 else None
+        if phase is not None and phase not in PHASES:
+            raise ValueError("unknown phase {!r} in {!r}".format(phase, token))
+        return Fault(
+            kind, at=at, shard=(parts[1], index), duration=duration, phase=phase
+        )
     if kind == "partition":
         _expect(parts, 2, token)
         a, b = _parse_link(parts[1], token)

@@ -105,6 +105,10 @@ class BaseMigration:
         self.catchup_threshold = catchup_threshold
         self.stats = MigrationStats()
         self._tm_txn = None  # in-flight T_m handle for 2PC crash recovery
+        # Destination WAL position when the migration began: a replicated
+        # shard's post-handover pump starts here, covering every record the
+        # migration lands on the destination without rescanning history.
+        self._dest_wal_floor = cluster.nodes[dest].wal.tail_lsn
         for shard_id in self.shard_ids:
             if cluster.shard_owner(shard_id) != source:
                 raise ValueError(
@@ -163,9 +167,24 @@ class BaseMigration:
             self.cluster.refresh_caches(shard_id, self.dest, commit_ts)
 
     def cleanup_source(self):
-        """Drop the migrated shards' data on the source node."""
+        """Drop the migrated shards' data on the source node.
+
+        Replicated shards are kept: after the epoch-bumped handover the old
+        leader stays in the replication group as a follower, so its copy is
+        live state, not junk."""
         for shard_id in self.shard_ids:
+            if self.cluster.replication.is_replicated(shard_id):
+                continue
             self.source_node.drop_shard(shard_id)
+
+    def rehome_replicated_shards(self):
+        """Generator: epoch-bumped leadership handover to the destination
+        for every migrated shard that has a replication group (the atomic
+        group reconfiguration closing a replicated-shard migration)."""
+        for shard_id in self.shard_ids:
+            group = self.cluster.replication.group_for(shard_id)
+            if group is not None:
+                yield from group.rehome(self.dest, from_lsn=self._dest_wal_floor)
 
     def cleanup_dest(self):
         """Drop partially migrated data on the destination (failed runs)."""

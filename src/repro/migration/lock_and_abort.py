@@ -60,6 +60,9 @@ class LockAndAbortMigration(IscMigration):
     name = "lock_and_abort"
 
     def run(self):
+        rest = yield from self.remaster_prepositioned()
+        if not rest:
+            return
         yield from self.phase_snapshot_copy()
         yield from self.phase_async_propagation()
         yield from self._phase_ownership_transfer()

@@ -115,11 +115,22 @@ def recover_migration(cluster, migration, residual_shadows=None):
     if tm_committed and migration.stats.tm_commit_ts is None:
         migration.stats.tm_commit_ts = tm_txn.commit_ts
     if not tm_committed:
-        # No transaction was diverted; drop the partial destination copy.
-        migration.cleanup_dest()
+        # No transaction was diverted; drop the partial destination copy —
+        # unless the destination hosts a live replica of the shard, whose
+        # data belongs to the replication group, not to this migration.
         for shard_id in migration.shard_ids:
-            if cluster.shard_owner(shard_id) != migration.source:
-                cluster.record_ownership(shard_id, migration.source)
+            group = cluster.replication.group_for(shard_id)
+            if group is not None and group.replica_on(migration.dest) is not None:
+                continue
+            migration.dest_node.drop_shard(shard_id)
+        for shard_id in migration.shard_ids:
+            # Restore routing to the authoritative owner. For a replicated
+            # shard that is the group's *current* leader — an election may
+            # have moved leadership while the migration was down, and
+            # recovery must not stomp it back onto the deposed source.
+            owner = cluster.replication.leader_of(shard_id) or migration.source
+            if cluster.shard_owner(shard_id) != owner:
+                cluster.record_ownership(shard_id, owner)
         cluster.clear_cache_read_through(migration.shard_ids)
         return "rolled_back"
 
@@ -154,5 +165,9 @@ def recover_migration(cluster, migration, residual_shadows=None):
             dest_node.bulk_install(shard_id, missing)
         cluster.refresh_caches(shard_id, migration.dest, migration.stats.tm_commit_ts)
     cluster.clear_cache_read_through(migration.shard_ids)
+    # Replicated shards: finish the epoch-bumped handover the crashed
+    # migration never reached, so the group keeps replicating under the
+    # destination's leadership.
+    yield from migration.rehome_replicated_shards()
     migration.cleanup_source()
     return "completed"

@@ -57,6 +57,12 @@ class RemusMigration(IscMigration):
         self.cache_refresh_delay = cache_refresh_delay
 
     def run(self):
+        # Shards the destination already replicates are handed over with a
+        # pure remastering handshake (copy/propagation would double-write
+        # the replica heap); the full protocol runs for the rest.
+        rest = yield from self.remaster_prepositioned()
+        if not rest:
+            return
         yield from self.phase_snapshot_copy()
         yield from self.phase_async_propagation()
         yield from self._phase_mode_change()
@@ -122,4 +128,5 @@ class RemusMigration(IscMigration):
         self.mocc.active = False
         self.source_node.manager.remove_commit_hook(self.mocc)
         yield from self.teardown_propagation()
+        yield from self.rehome_replicated_shards()
         self.cleanup_source()

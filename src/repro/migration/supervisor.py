@@ -109,13 +109,20 @@ class MigrationSupervisor:
         attempt = 0
         while True:
             pending = [
-                s for s in shard_ids if self.cluster.shard_owner(s) == source
+                s for s in shard_ids if self.cluster.shard_owner(s) != dest
             ]
             if not pending:
                 return  # a recovered attempt already completed the move
+            # Re-resolve the source each attempt: a replication failover may
+            # have remastered a shard onto a follower while the batch was
+            # down, and retrying against the deposed leader would wedge.
+            source_now = self.cluster.shard_owner(pending[0])
+            group = [
+                s for s in pending if self.cluster.shard_owner(s) == source_now
+            ]
             self.cluster.metrics.mark("batch_start")
             migration = self.plan.approach_cls(
-                self.cluster, pending, source, dest, **self.plan.kwargs
+                self.cluster, group, source_now, dest, **self.plan.kwargs
             )
             migration.stats.on_phase = self._on_phase
             self.plan.migrations.append(migration)
@@ -123,7 +130,11 @@ class MigrationSupervisor:
             self.plan.stats.merge(migration.stats)
             self.cluster.metrics.mark("batch_end")
             if outcome in ("ok", "completed"):
-                return
+                if all(
+                    self.cluster.shard_owner(s) == dest for s in shard_ids
+                ):
+                    return
+                continue  # shards scattered by an election: move the rest
             attempt += 1
             if attempt > cfg.max_retries:
                 self.plan.stats.batches_skipped += 1

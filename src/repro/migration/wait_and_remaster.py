@@ -19,6 +19,13 @@ class WaitAndRemasterMigration(IscMigration):
     name = "wait_and_remaster"
 
     def run(self):
+        # STAR-style asymmetric path (shared ISC machinery): shards whose
+        # replication group already has a member on the destination are
+        # handed over with a pure remastering handshake — no copy, no
+        # propagation. Only the rest pays for the full transfer.
+        rest = yield from self.remaster_prepositioned()
+        if not rest:
+            return
         yield from self.phase_snapshot_copy()
         yield from self.phase_async_propagation()
         yield from self._phase_ownership_transfer()
@@ -50,4 +57,5 @@ class WaitAndRemasterMigration(IscMigration):
 
     def _finish(self):
         yield from self.teardown_propagation()
+        yield from self.rehome_replicated_shards()
         self.cleanup_source()

@@ -36,6 +36,9 @@ class FastPathCounters:
         "migration_scan_batches",
         "migration_pump_skipped",
         "migration_replay_coalesced",
+        "repl_ship_batches",
+        "failover_elections",
+        "stale_epoch_rejects",
     )
 
     def __init__(self) -> None:
@@ -78,6 +81,12 @@ class FastPathCounters:
             out["migration_pump_skipped"] = self.migration_pump_skipped
         if self.migration_replay_coalesced:
             out["migration_replay_coalesced"] = self.migration_replay_coalesced
+        if self.repl_ship_batches:
+            out["repl_ship_batches"] = self.repl_ship_batches
+        if self.failover_elections:
+            out["failover_elections"] = self.failover_elections
+        if self.stale_epoch_rejects:
+            out["stale_epoch_rejects"] = self.stale_epoch_rejects
         return out
 
 

@@ -44,6 +44,28 @@ class UniqueViolation(TransactionError):
     kind = "unique"
 
 
+class StaleEpoch(TransactionError):
+    """A 2PC request reached a participant whose shard epoch moved on.
+
+    Raised when a prepare or commit arrives at a replica that lost (or never
+    had) leadership for the target shard under the epoch the coordinator
+    routed with. The coordinator re-resolves ownership through the shard map
+    and retries on the new leader instead of wedging or double-committing.
+    """
+
+    kind = "stale_epoch"
+
+
+class ReplicaFailover(TransactionError):
+    """The shard's leader replica is down and an election is in progress.
+
+    Retryable: the client re-runs the transaction once the replication group
+    has elected a new leader and republished the shard map.
+    """
+
+    kind = "failover"
+
+
 class RpcAbort(TransactionError):
     """An RPC to a participant exhausted its retry budget (partition / loss).
 

@@ -96,6 +96,16 @@ class NodeTxnManager:
             self.active_epoch += 1
         return participant
 
+    def allocate_local_xid(self) -> int:
+        """Allocate a node-local xid outside any distributed transaction.
+
+        Used by replication applies and election-time shard-map installs,
+        which write committed versions directly (no 2PC, no locks) and need
+        a CLOG identity for MVCC visibility.
+        """
+        self._next_xid += 1
+        return self._next_xid
+
     def discard_active(self, xid) -> None:
         """Drop ``xid`` from the active set (resolved out-of-band, e.g. the
         read-only fast commit), invalidating epoch-tagged snapshots."""

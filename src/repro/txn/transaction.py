@@ -76,6 +76,9 @@ class Transaction:
         self.is_shadow = False
         self.source_tid = None  # for shadow txns: the source transaction
         self.op_count = 0
+        # shard_id -> replication-group epoch observed at routing time;
+        # participants reject prepares routed under a superseded epoch.
+        self.shard_epochs: dict = {}
         # node_id -> Snapshot, reused across operations on that node until
         # the participant set changes (the only input besides the immutable
         # start_ts). Key None caches the xid-free routing snapshot.

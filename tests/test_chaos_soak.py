@@ -14,6 +14,11 @@ workload, and every run must
 import pytest
 
 from repro.experiments.chaos import ChaosConfig, run_chaos
+from repro.experiments.failover import (
+    FailoverConfig,
+    run_failover,
+    run_remaster_comparison,
+)
 from repro.faults import Fault, FaultPlan
 from repro.faults.plan import KINDS, PHASES
 from repro.sim import SeedSequence
@@ -50,6 +55,52 @@ def test_explicit_fault_spec_is_used_verbatim():
     assert result.violations == []
     assert "crash_migration" in result.fault_plan
     assert any("fault:partition" in name for _t, name in result.marks)
+
+
+# ----------------------------------------------------------------------
+# Failover soak: replicated-shard migration under replica crashes.
+#
+# Same acceptance bar as the chaos soak, plus the replication invariants
+# (replica divergence, dual leadership) that the InvariantChecker now
+# monitors live and re-audits at the end of every run: a Remus migration
+# of a replicated shard must survive its group leader crashing during the
+# snapshot copy AND during async propagation, across seeds, with zero
+# violations and a forced election each time.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SOAK_SEEDS)
+@pytest.mark.parametrize("phase", ["snapshot_copy", "async_propagation"])
+def test_failover_soak_seed(seed, phase):
+    result = run_failover(
+        FailoverConfig(seed=seed, crash_phase=phase, follow_crash=seed % 2 == 1)
+    )
+    # run_failover itself raises on invariant violations (including replica
+    # divergence and dual leadership), lost updates, orphaned PREPAREDs and
+    # crashed processes; re-assert the headline facts here.
+    assert result.violations == []
+    assert result.committed > 0
+    assert result.failover_elections >= 1
+    assert result.repl_ship_batches > 0
+    # The migrated shard's group went through both an election and a rehome.
+    assert max(result.epochs.values()) >= 3
+
+
+def test_failover_soak_is_deterministic():
+    first = run_failover(FailoverConfig(seed=1))
+    second = run_failover(FailoverConfig(seed=1))
+    assert first.timeline_signature() == second.timeline_signature()
+    assert first.fault_plan == second.fault_plan
+    assert first.epochs == second.epochs
+
+
+def test_remaster_onto_follower_moves_strictly_less_data():
+    # STAR-style asymmetric availability: wait-and-remaster onto a node
+    # that already holds an in-sync follower is near-free, while Remus
+    # onto a fresh node pays for the full snapshot copy.
+    out = run_remaster_comparison(FailoverConfig(seed=3))
+    assert out["remaster_bytes"] == 0
+    assert out["remaster_tuples"] == 0
+    assert out["remus_bytes"] > 0
+    assert out["remaster_bytes"] < out["remus_bytes"]
 
 
 # ----------------------------------------------------------------------

@@ -1,9 +1,14 @@
 """Node failure / failover tests (§3.7's fault-tolerance model)."""
 
 from repro.cluster import Cluster
+from repro.cluster.shard import ShardId
 from repro.config import ClusterConfig
 from repro.migration import RemusMigration
 from repro.migration.recovery import crash_migration, recover_migration
+from repro.profiling import COUNTERS
+from repro.storage.clog import TxnStatus
+from repro.txn.errors import StaleEpoch, TransactionError
+from repro.txn.transaction import TxnState
 from repro.workloads.ycsb import YcsbConfig, YcsbWorkload
 
 
@@ -153,3 +158,131 @@ def test_source_failure_mid_migration_then_recovery():
     pool.stop()
     cluster.run(until=41.0)
     assert len(cluster.dump_table("ycsb")) == workload.config.num_tuples
+
+
+# ----------------------------------------------------------------------
+# Replica failover during 2PC (epoch-fenced commit)
+# ----------------------------------------------------------------------
+def build_replicated():
+    COUNTERS.reset()
+    cluster = Cluster(ClusterConfig(num_nodes=4))
+    cluster.create_table("counters", num_shards=3, tuple_size=64)
+    cluster.bulk_load("counters", [(k, {"n": 0}) for k in range(90)])
+    cluster.enable_replication("counters", n_followers=2)
+    shard_id = ShardId("counters", 0)
+    schema = cluster.tables["counters"]
+    key = next(k for k in range(90) if schema.shard_for_key(k) == shard_id)
+    return cluster, cluster.replication.group_for(shard_id), key
+
+
+def no_orphaned_prepares(cluster):
+    orphans = []
+    for node_id, node in cluster.nodes.items():
+        orphans += [
+            (node_id, xid)
+            for xid, status in node.clog.statuses()
+            if status is TxnStatus.PREPARED
+        ]
+    return orphans
+
+
+def _probe_txn(cluster, key, crash_group=None, commit_delay=0.0, out=None):
+    """Driver generator: one read-modify-write on ``key``; optionally crash
+    ``crash_group``'s leader after the writes, wait ``commit_delay``, then
+    commit — recording the outcome instead of raising."""
+    session = cluster.session("node-3")
+    txn = yield from session.begin(label="probe")
+    try:
+        row = yield from session.read(txn, "counters", key)
+        yield from session.update(txn, "counters", key, {"n": row["n"] + 1})
+        out["txn"] = txn
+        if crash_group is not None:
+            crash_group.crash_replica(crash_group.leader_node_id)
+        if commit_delay:
+            yield commit_delay
+        out["committed"] = yield from session.commit(txn)
+    except TransactionError as exc:
+        out["error"] = exc
+        try:
+            yield from session.abort(txn)
+        except TransactionError:
+            pass
+
+
+def test_leader_crash_between_prepare_and_commit_commits_exactly_once():
+    """Satellite: a transaction prepared against the group leader survives
+    that leader dying before the commit decision is delivered — the
+    coordinator re-resolves through the group and the commit lands on the
+    new leader exactly once (never wedged, never double-committed)."""
+    cluster, group, key = build_replicated()
+    out = {}
+    cluster.spawn(
+        _probe_txn(cluster, key, out=out), name="probe"
+    )
+
+    def crasher():
+        # Crash the leader the moment the probe enters its commit phase
+        # (prepare acks in, decision not yet quorum-replicated).
+        while "txn" not in out or out["txn"].state is not TxnState.COMMITTING:
+            if "committed" in out or "error" in out:
+                return
+            yield 1e-4
+        group.crash_replica(group.leader_node_id)
+
+    cluster.spawn(crasher(), name="crasher")
+    cluster.run(until=5.0)
+    assert "committed" in out, out.get("error")
+    assert group.epoch == 2
+    assert COUNTERS.failover_elections == 1
+    # Exactly once: the increment is visible exactly once on the new leader.
+    assert cluster.dump_table("counters")[key] == {"n": 1}
+    assert no_orphaned_prepares(cluster) == []
+    assert not cluster.sim.failed_processes
+
+
+def test_stale_epoch_prepare_rejected_then_retry_commits():
+    """Satellite: a prepare that lands after an election is fenced by the
+    shard-map epoch — the participant rejects it, the coordinator aborts
+    cleanly (no orphaned PREPARED entries), and the client's retry commits
+    exactly once on the new leader."""
+    cluster, group, key = build_replicated()
+    out = {}
+    # The delay is tuned so the election completes while the prepare's WAL
+    # flush is in flight: validation then sees epoch 2 against the txn's
+    # routed epoch 1 (default cost model; retune if flush costs change).
+    cluster.spawn(
+        _probe_txn(cluster, key, crash_group=group, commit_delay=0.1998, out=out),
+        name="probe",
+    )
+    cluster.run(until=5.0)
+    assert isinstance(out.get("error"), StaleEpoch), out
+    assert COUNTERS.stale_epoch_rejects >= 1
+    assert group.epoch == 2
+    assert cluster.dump_table("counters")[key] == {"n": 0}
+    assert no_orphaned_prepares(cluster) == []
+    # The client-style retry re-routes through the shard map and commits on
+    # the new leader.
+    out2 = {}
+    cluster.spawn(_probe_txn(cluster, key, out=out2), name="retry")
+    cluster.run(until=10.0)
+    assert "committed" in out2, out2.get("error")
+    assert cluster.dump_table("counters")[key] == {"n": 1}
+    assert no_orphaned_prepares(cluster) == []
+    assert not cluster.sim.failed_processes
+
+
+def test_election_dooms_active_writers_cleanly():
+    """A transaction still ACTIVE when its shard's leader is deposed is
+    doomed by the election (its snapshot lives on the dead leader) and
+    aborts cleanly; nothing is left prepared and no update is lost."""
+    cluster, group, key = build_replicated()
+    out = {}
+    cluster.spawn(
+        _probe_txn(cluster, key, crash_group=group, commit_delay=0.5, out=out),
+        name="probe",
+    )
+    cluster.run(until=5.0)
+    assert "error" in out and "committed" not in out
+    assert cluster.dump_table("counters")[key] == {"n": 0}
+    assert no_orphaned_prepares(cluster) == []
+    assert not cluster.sim.failed_processes
