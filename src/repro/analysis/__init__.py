@@ -9,6 +9,12 @@ rules in :mod:`repro.analysis.rules` encode those hazards as static checks;
 ``# simlint: ignore[RULE]`` suppressions and a JSON baseline of accepted
 pre-existing findings.
 
+:mod:`repro.analysis.simrace` extends the catalogue with yield-point race
+rules (SIM101–SIM104): check-then-act across a yield, leaked resource
+acquires on Interrupt paths, unfenced epoch/route reads, and unguarded
+event settles — evaluated on the yield-aware control-flow graphs of
+:mod:`repro.analysis.cfg`.
+
 Entry point: ``repro lint`` (see :mod:`repro.analysis.cli`).
 """
 

@@ -1,0 +1,373 @@
+"""Yield-aware control-flow graphs for generator-based protocol code.
+
+The simrace rules (SIM101–SIM104) reason about what can happen *across* a
+cooperative yield: another process may mutate shared state, or an
+``interrupt()`` may be delivered at the suspension point. Plain AST walks
+cannot answer "is there a path from this acquire to function exit that skips
+the release?", so this module builds a small statement-level CFG per
+function with the scheduling semantics of :mod:`repro.sim` baked in:
+
+- Every statement is one node. Compound statements (``if``/``while``/
+  ``for``/``try``/``with``) are represented by their *header*; their bodies
+  become separate nodes. A node's ``yields`` lists the ``yield`` /
+  ``yield from`` expressions evaluated by that node itself (header
+  expressions only — yields inside a loop body belong to the body nodes).
+- Yield nodes are **preemption points**: an Interrupt can be thrown at any
+  of them, so each yield node (and each explicit ``raise``) gets exception
+  edges (``exc_succ``) to the innermost handlers / ``finally`` gate and,
+  transitively, to the synthetic ``raise_exit`` node.
+- **Single-fault model**: the fault injector delivers at most one Interrupt
+  per task lifetime, and cleanup code runs after the fault has already
+  fired. Yields inside ``except`` handlers and ``finally`` bodies therefore
+  do *not* spawn exception edges (``node.in_cleanup`` is set on them); this
+  is what makes the standard try/except-Interrupt/finally-release idiom of
+  the migration data path analyzable without flagging the cleanup itself.
+- ``finally`` blocks are modeled with a *gate* node. Whatever routes into
+  the gate (normal fall-through, an exception edge, a ``return`` /
+  ``break`` / ``continue``) registers its real target as a *continuation*;
+  after the whole function is built, the finally body's fall-through edges
+  are wired to the union of registered continuations. Continuations no
+  path ever used are therefore absent — ``acquire(); try: ...;
+  finally: pass`` followed by ``release()`` does not grow a phantom early
+  exit unless something in the ``try`` can actually escape. Nested
+  finallys chain gate-to-gate, which joins escape kinds at each gate: an
+  over-approximation (extra paths, never missing ones).
+
+Terminals: ``exit`` (normal return / fall off the end) and ``raise_exit``
+(uncaught exception — the process dies, or the Interrupt propagates to the
+crash-injection driver). Reaching either without passing a cleanup action
+is exactly the question SIM102 asks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+ENTRY = "entry"
+EXIT = "exit"
+RAISE_EXIT = "raise_exit"
+STMT = "stmt"
+FINALLY_GATE = "finally"
+
+
+class CFGNode:
+    """One statement (or synthetic point) in a function's CFG."""
+
+    __slots__ = ("index", "kind", "stmt", "succ", "exc_succ", "yields", "in_cleanup")
+
+    def __init__(self, index: int, kind: str, stmt: ast.AST | None = None) -> None:
+        self.index = index
+        self.kind = kind
+        self.stmt = stmt
+        self.succ: list[CFGNode] = []  # normal control flow
+        self.exc_succ: list[CFGNode] = []  # Interrupt-at-yield / raise flow
+        self.yields: list[ast.expr] = []  # Yield/YieldFrom evaluated here
+        self.in_cleanup = False  # inside an except handler / finally body
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.kind in (EXIT, RAISE_EXIT)
+
+    def add_succ(self, node: "CFGNode") -> None:
+        if node not in self.succ:
+            self.succ.append(node)
+
+    def add_exc(self, node: "CFGNode") -> None:
+        if node not in self.exc_succ:
+            self.exc_succ.append(node)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = getattr(self.stmt, "lineno", "-")
+        return "<CFGNode {} {} L{}>".format(self.index, self.kind, where)
+
+
+class CFG:
+    """The graph for one function: ``entry`` → statements → terminals."""
+
+    def __init__(self, func: ast.AST) -> None:
+        self.func = func
+        self.nodes: list[CFGNode] = []
+        self.entry = self.new_node(ENTRY)
+        self.exit = self.new_node(EXIT)
+        self.raise_exit = self.new_node(RAISE_EXIT)
+
+    def new_node(self, kind: str, stmt: ast.AST | None = None) -> CFGNode:
+        node = CFGNode(len(self.nodes), kind, stmt)
+        self.nodes.append(node)
+        return node
+
+    def stmt_nodes(self) -> Iterator[CFGNode]:
+        for node in self.nodes:
+            if node.stmt is not None and node.kind == STMT:
+                yield node
+
+    def yield_nodes(self) -> Iterator[CFGNode]:
+        for node in self.nodes:
+            if node.yields:
+                yield node
+
+
+def header_yields(stmt: ast.stmt) -> list[ast.expr]:
+    """Yield/YieldFrom expressions evaluated by the statement itself.
+
+    For compound statements only the header expressions count (``if``/
+    ``while`` test, ``for`` iterable, ``with`` items); body statements get
+    their own nodes. Nested function/lambda bodies never count — their
+    yields belong to the inner generator.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        exprs: list[ast.AST] = [stmt.test]
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        exprs = [stmt.iter]
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        exprs = [item.context_expr for item in stmt.items]
+    elif isinstance(stmt, (ast.Try, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        exprs = []
+    else:
+        exprs = [stmt]
+    found: list[ast.expr] = []
+    for expr in exprs:
+        for node in walk_no_functions(expr):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                found.append(node)
+    return found
+
+
+def header_walk(stmt: ast.AST) -> Iterator[ast.AST]:
+    """Walk the expressions *this CFG node itself* evaluates.
+
+    A compound statement's node represents only its header (test / iterable
+    / context managers); the body statements have their own nodes, so rules
+    inspecting a node must not match things that live in the body.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        exprs: list[ast.AST] = [stmt.test]
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        exprs = [stmt.iter]
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        exprs = [item.context_expr for item in stmt.items]
+    elif isinstance(stmt, ast.ExceptHandler):
+        exprs = [stmt.type] if stmt.type is not None else []
+    elif isinstance(stmt, (ast.Try, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        exprs = []
+    elif isinstance(stmt, ast.Match):
+        exprs = [stmt.subject]
+    else:
+        exprs = [stmt]
+    for expr in exprs:
+        yield from walk_no_functions(expr)
+
+
+def walk_no_functions(root: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested function/lambda scopes."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.append(child)
+
+
+class _GateInfo:
+    """Pending continuations of one finally gate, filled while building."""
+
+    __slots__ = ("gate", "body_exits", "continuations")
+
+    def __init__(self, gate: CFGNode) -> None:
+        self.gate = gate
+        self.body_exits: list[CFGNode] = []  # finally-body fall-through nodes
+        self.continuations: list[CFGNode] = []
+
+    def add_continuation(self, target: CFGNode) -> None:
+        if target not in self.continuations:
+            self.continuations.append(target)
+
+
+class _Frame:
+    """Builder context: where exceptions, escapes and breaks go right now."""
+
+    __slots__ = ("exc_targets", "loop", "gate_stack", "in_cleanup")
+
+    def __init__(self, exc_targets, loop, gate_stack, in_cleanup) -> None:
+        self.exc_targets = exc_targets  # list[CFGNode]
+        self.loop = loop  # (header_node, breaks, gate_depth) or None
+        self.gate_stack = gate_stack  # enclosing finally gates, innermost last
+        self.in_cleanup = in_cleanup
+
+    def replaced(self, **kw) -> "_Frame":
+        frame = _Frame(self.exc_targets, self.loop, self.gate_stack, self.in_cleanup)
+        for key, value in kw.items():
+            setattr(frame, key, value)
+        return frame
+
+
+class _Builder:
+    def __init__(self, func) -> None:
+        self.cfg = CFG(func)
+        self.gates: dict[int, _GateInfo] = {}
+
+    def build(self) -> CFG:
+        cfg = self.cfg
+        frame = _Frame(
+            exc_targets=[cfg.raise_exit], loop=None, gate_stack=[], in_cleanup=False
+        )
+        exits = self.block(cfg.func.body, [cfg.entry], frame)
+        for node in exits:
+            node.add_succ(cfg.exit)
+        # Wire each finally body's fall-through to the continuations real
+        # paths routed through its gate.
+        for info in self.gates.values():
+            targets = info.continuations or [cfg.exit]
+            for node in info.body_exits:
+                for target in targets:
+                    node.add_succ(target)
+        return cfg
+
+    # -- structure ------------------------------------------------------
+    def block(self, stmts, frontier, frame):
+        for stmt in stmts:
+            if not frontier:
+                break  # unreachable after return/raise/break/continue
+            frontier = self.stmt(stmt, frontier, frame)
+        return frontier
+
+    def stmt(self, stmt, frontier, frame):
+        node = self.cfg.new_node(STMT, stmt)
+        node.in_cleanup = frame.in_cleanup
+        node.yields = header_yields(stmt)
+        for prev in frontier:
+            prev.add_succ(node)
+        # Preemption: an Interrupt may arrive at any yield this node performs
+        # (unless we are already in cleanup code — single-fault model).
+        if node.yields and not frame.in_cleanup:
+            for target in frame.exc_targets:
+                node.add_exc(target)
+
+        if isinstance(stmt, ast.If):
+            then_exits = self.block(stmt.body, [node], frame)
+            else_exits = self.block(stmt.orelse, [node], frame) if stmt.orelse else [node]
+            return then_exits + else_exits
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            breaks: list[CFGNode] = []
+            loop_frame = frame.replaced(loop=(node, breaks, len(frame.gate_stack)))
+            body_exits = self.block(stmt.body, [node], loop_frame)
+            for exit_node in body_exits:  # back edge
+                exit_node.add_succ(node)
+            after = self.block(stmt.orelse, [node], frame) if stmt.orelse else [node]
+            return after + breaks
+
+        if isinstance(stmt, ast.Try):
+            return self.try_stmt(stmt, node, frame)
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self.block(stmt.body, [node], frame)
+
+        if isinstance(stmt, ast.Match):
+            exits = [node]  # no case may match
+            for case in stmt.cases:
+                exits += self.block(case.body, [node], frame)
+            return exits
+
+        if isinstance(stmt, ast.Return):
+            self.escape(node, frame.gate_stack, self.cfg.exit)
+            return []
+
+        if isinstance(stmt, ast.Raise):
+            for target in frame.exc_targets:
+                node.add_exc(target)
+            return []
+
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            if frame.loop is not None:
+                header, breaks, gate_depth = frame.loop
+                inner_gates = frame.gate_stack[gate_depth:]
+                if isinstance(stmt, ast.Break) and not inner_gates:
+                    breaks.append(node)  # joins the loop's fall-through
+                else:
+                    # continue → header; break through a finally also joins
+                    # at the header (which flows to the loop's after-set):
+                    # reachability-exact, path-over-approximate.
+                    self.escape(node, inner_gates, header)
+            return []
+
+        return [node]
+
+    def try_stmt(self, stmt, node, frame):
+        cfg = self.cfg
+        outer_exc = frame.exc_targets
+        gate = None
+        if stmt.finalbody:
+            gate = cfg.new_node(FINALLY_GATE, stmt)
+            self.gates[gate.index] = _GateInfo(gate)
+
+        handler_nodes = []
+        for handler in stmt.handlers:
+            handler_node = cfg.new_node(STMT, handler)
+            handler_node.in_cleanup = True
+            handler_nodes.append(handler_node)
+
+        # The exception targets of the protected body: any handler may match;
+        # a non-matching exception runs the finally, then propagates.
+        body_exc = list(handler_nodes)
+        if gate is not None:
+            body_exc.append(gate)
+            gate_stack = frame.gate_stack + [gate]
+        else:
+            body_exc.extend(outer_exc)
+            gate_stack = frame.gate_stack
+        body_frame = frame.replaced(exc_targets=body_exc, gate_stack=gate_stack)
+        body_exits = self.block(stmt.body, [node], body_frame)
+
+        # else-clause: runs on normal body completion, unprotected by the
+        # handlers but still covered by the finally.
+        post_exc = [gate] if gate is not None else outer_exc
+        orelse_frame = frame.replaced(exc_targets=post_exc, gate_stack=gate_stack)
+        if stmt.orelse:
+            body_exits = self.block(stmt.orelse, body_exits, orelse_frame)
+
+        # Handler bodies are cleanup code: the single fault already fired.
+        handler_frame = orelse_frame.replaced(in_cleanup=True)
+        normal_exits = list(body_exits)
+        for handler_node, handler in zip(handler_nodes, stmt.handlers):
+            normal_exits += self.block(handler.body, [handler_node], handler_frame)
+
+        if gate is None:
+            return normal_exits
+
+        info = self.gates[gate.index]
+        finally_frame = frame.replaced(exc_targets=outer_exc, in_cleanup=True)
+        info.body_exits = self.block(stmt.finalbody, [gate], finally_frame)
+        # An exception edge into the gate continues, after the finally, to
+        # the outer exception targets.
+        if any(gate in n.exc_succ for n in cfg.nodes):
+            for target in outer_exc:
+                info.add_continuation(target)
+        if not normal_exits:
+            return []  # nothing falls through the try normally
+        for exit_node in normal_exits:
+            exit_node.add_succ(gate)
+        # Fall-through continues after the finally body: hand its exits to
+        # the caller as the new frontier (their extra escape continuations
+        # are wired in build()).
+        return list(info.body_exits)
+
+    # -- escapes through finally gates ---------------------------------
+    def escape(self, node, gate_stack, final_target) -> None:
+        """Route a return/break/continue through enclosing finally gates."""
+        if not gate_stack:
+            node.add_succ(final_target)
+            return
+        node.add_succ(gate_stack[-1])
+        chain = list(gate_stack)
+        for inner, outer in zip(reversed(chain), list(reversed(chain))[1:]):
+            self.gates[inner.index].add_continuation(outer)
+        self.gates[chain[0].index].add_continuation(final_target)
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the yield-aware CFG of one function definition."""
+    return _Builder(func).build()

@@ -8,8 +8,10 @@ import re
 from dataclasses import dataclass, field
 from fnmatch import fnmatch
 
+import repro.analysis.simrace  # noqa: F401  (registers SIM101–SIM104)
 from repro.analysis.rules import RULES
 from repro.analysis.violations import Violation, sort_key
+from repro.config import LINT_RULE_SCOPES
 
 #: Trailing-comment suppression: ``x = set()  # simlint: ignore[SIM003]``
 #: (several codes may be listed, comma-separated).
@@ -51,6 +53,9 @@ class LintConfig:
     swallowed_exceptions: frozenset[str] = frozenset(
         {"SimulationError", "SimError", "Interrupt"}
     )
+    #: Attribute names SIM101 treats as stable across yields even though
+    #: the module reassigns them somewhere (calibration escape hatch).
+    simrace_stable_attrs: frozenset[str] = frozenset()
 
     def scope_for(self, rule_code: str) -> RuleScope:
         return self.scopes.get(rule_code, RuleScope())
@@ -59,39 +64,18 @@ class LintConfig:
 def default_config() -> LintConfig:
     """The scoping used by ``repro lint`` on this tree.
 
-    - The DES kernel and the RNG module are the *only* places allowed to
-      touch the primitives they encapsulate (virtual time / seeding), so
-      they are exempt from SIM001/SIM002 respectively.
-    - SIM004 applies to protocol code (txn / migration / cluster / faults);
-      the RPC layer itself and the network model legitimately call raw
-      ``send`` and live outside those paths.
-    - The analysis package lints everything but itself.
-    - The benchmark harness (``repro/bench``) is covered like everything
-      else, except that its timing modules measure wall-clock time *by
-      definition* — kernel_bench, txn_bench and sweep are exempt from
-      SIM001 only. The same applies to ``repro/profiling``: its whole
-      purpose is attributing host wall time, while it never feeds that
-      time back into the simulation.
+    Which rule runs where is declared in one place —
+    :data:`repro.config.LINT_RULE_SCOPES` (see the rationale comments
+    there); this just materializes that table into :class:`RuleScope`
+    objects.
     """
-    exempt_self = ("*/analysis/*",)
-    wall_clock_ok = (
-        "*/sim/kernel.py",
-        "*/bench/kernel_bench.py",
-        "*/bench/txn_bench.py",
-        "*/bench/migration_bench.py",
-        "*/bench/sweep.py",
-        "*/profiling/*",
-    )
     return LintConfig(
         scopes={
-            "SIM001": RuleScope(exclude=wall_clock_ok + exempt_self),
-            "SIM002": RuleScope(exclude=("*/sim/rng.py",) + exempt_self),
-            "SIM003": RuleScope(exclude=exempt_self),
-            "SIM004": RuleScope(
-                include=("*/txn/*", "*/migration/*", "*/cluster/*", "*/faults/*"),
-            ),
-            "SIM005": RuleScope(exclude=exempt_self),
-            "SIM006": RuleScope(exclude=exempt_self),
+            code: RuleScope(
+                include=tuple(spec.get("include", ())),
+                exclude=tuple(spec.get("exclude", ())),
+            )
+            for code, spec in LINT_RULE_SCOPES.items()
         },
     )
 

@@ -1,0 +1,731 @@
+"""simrace: yield-point race & resource-leak rules (SIM101–SIM104).
+
+The protocol packages (``txn``/``migration``/``cluster``/``faults``) are
+written as cooperative generator processes: between two ``yield``s a step is
+atomic, but *across* a yield anything may happen — another process mutates
+the shared attribute you just read, the leader you resolved fails over, or
+the fault injector throws :class:`~repro.sim.process.Interrupt` into the
+suspension point. Both real bug classes this repo has already paid for are
+instances of that pattern: the replay-slot leak (a ``Resource`` acquire
+whose release was skipped on an interrupted path) and the epoch-fencing
+races of the replicated 2PC. These rules catch the pattern statically, on
+the yield-aware CFG of :mod:`repro.analysis.cfg`:
+
+- **SIM101** — check-then-act across a yield: a local caches mutable shared
+  state (``self.*`` attributes the module reassigns outside ``__init__``),
+  the process yields, and the stale local is acted on without re-reading or
+  re-validating the source.
+- **SIM102** — a zero-argument ``.acquire()`` (sim ``Resource`` slots) whose
+  event can reach function exit — normal *or* exceptional/Interrupt — with
+  neither ``.release()`` nor ``.cancel_acquire(...)`` on that path.
+- **SIM103** — epoch/route fencing: an epoch or leader/owner read before a
+  yield that is not carried into (epoch) or re-read before (route) a later
+  RPC send; the fenced value may no longer be current when the message is
+  built.
+- **SIM104** — an ``Event`` stored on ``self`` and settled
+  (``succeed``/``fail``) from more than one function without a
+  ``.triggered`` guard or an ownership transfer; double settling raises
+  ``triggered twice`` at runtime.
+
+All four are heuristic like the SIM00x family: false positives are silenced
+with ``# simlint: ignore[CODE]`` on the flagged line (with a rationale
+comment) or accepted in the baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.cfg import CFG, CFGNode, build_cfg, header_walk, walk_no_functions
+from repro.analysis.rules import Rule, _terminal_name, rule
+
+#: Reliable-RPC entry points plus the raw sends SIM004 polices; a message
+#: built from pre-yield state is hazardous regardless of transport.
+SEND_NAMES = frozenset({"rpc_send", "rpc_broadcast", "send", "broadcast"})
+#: Attribute / helper names that denote a configuration epoch.
+EPOCH_NAMES = frozenset({"epoch", "group_epoch", "epoch_of"})
+#: Attribute / helper names that resolve a routing destination.
+ROUTE_NAMES = frozenset(
+    {"leader_node_id", "leader_of", "shard_owner", "owner_of", "primary_of"}
+)
+
+
+def receiver_key(node: ast.AST) -> str | None:
+    """Normalize a Name / dotted-Attribute chain to ``"a.b.c"`` (else None)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _functions(tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _assign_parts(stmt: ast.stmt):
+    """(targets, value) of an assignment statement, else (None, None)."""
+    if isinstance(stmt, ast.Assign):
+        return stmt.targets, stmt.value
+    if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        return [stmt.target], stmt.value
+    return None, None
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+
+
+def _binds_name(stmt: ast.stmt, name: str) -> bool:
+    """Does this statement (re)bind local ``name``?"""
+    targets, _value = _assign_parts(stmt)
+    if targets is None:
+        if isinstance(stmt, ast.AugAssign):
+            targets = [stmt.target]
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            targets = [stmt.target]
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            targets = [i.optional_vars for i in stmt.items if i.optional_vars]
+        else:
+            return False
+    return any(name in _target_names(t) for t in targets if t is not None)
+
+
+def _attr_reads(expr: ast.AST) -> set[str]:
+    """Attribute names read (Load context) anywhere inside ``expr``."""
+    return {
+        node.attr
+        for node in walk_no_functions(expr)
+        if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load)
+    }
+
+
+def _name_reads(expr: ast.AST) -> set[str]:
+    return {
+        node.id
+        for node in walk_no_functions(expr)
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+    }
+
+
+def _uses_name(expr: ast.AST, name: str) -> bool:
+    for node in walk_no_functions(expr):
+        if isinstance(node, ast.Name) and node.id == name and isinstance(node.ctx, ast.Load):
+            return True
+    return False
+
+
+def _header_uses_name(stmt: ast.AST, name: str) -> bool:
+    for node in header_walk(stmt):
+        if isinstance(node, ast.Name) and node.id == name and isinstance(node.ctx, ast.Load):
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+class ModuleIndex:
+    """Per-module facts shared by the simrace rules (built once, cached)."""
+
+    def __init__(self, module) -> None:
+        tree = module.tree
+        #: attr -> functions with a plain ``x.attr = ...`` store (not __init__)
+        self.attr_writers: dict[str, set[str]] = {}
+        #: attr -> functions with an ``x.attr op= ...`` store (not __init__)
+        self.attr_aug_writers: dict[str, set[str]] = {}
+        self.releases_by_func: dict[str, set[str]] = {}
+        self.event_attrs: set[str] = set()
+        self._cfgs: dict[int, CFG] = {}
+
+        for func in _functions(tree):
+            releases = self.releases_by_func.setdefault(func.name, set())
+            for node in walk_no_functions(ast.Module(body=func.body, type_ignores=[])):
+                if isinstance(node, ast.Assign) and func.name != "__init__":
+                    for target in node.targets:
+                        for attr in self._attr_store_names(target):
+                            self.attr_writers.setdefault(attr, set()).add(func.name)
+                elif isinstance(node, ast.AugAssign) and func.name != "__init__":
+                    for attr in self._attr_store_names(node.target):
+                        self.attr_aug_writers.setdefault(attr, set()).add(func.name)
+                elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                    if node.func.attr in ("release", "cancel_acquire"):
+                        key = receiver_key(node.func.value)
+                        if key is not None:
+                            releases.add(key)
+
+    @staticmethod
+    def _attr_store_names(target: ast.expr) -> Iterator[str]:
+        if isinstance(target, ast.Attribute):
+            yield target.attr
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from ModuleIndex._attr_store_names(element)
+
+    def mutable_attrs_for(self, func_name: str) -> set[str]:
+        """Attributes a capture in ``func_name`` must treat as shared-mutable.
+
+        Two stability heuristics, calibrated on this tree:
+
+        - attrs written *only* with ``+=``-style AugAssign are monotonic
+          counters/allocators — reading one is not check-then-act state;
+        - an attr whose every writer is ``func_name`` itself is single-writer
+          state (a pump cursor): no concurrent process moves it under us.
+        """
+        mutable = set()
+        for attr, writers in self.attr_writers.items():
+            all_writers = writers | self.attr_aug_writers.get(attr, set())
+            if all_writers and all_writers != {func_name}:
+                mutable.add(attr)
+        return mutable
+
+    @classmethod
+    def of(cls, module) -> "ModuleIndex":
+        index = getattr(module, "_simrace_index", None)
+        if index is None:
+            index = cls(module)
+            index._collect_event_attrs(module.tree)
+            module._simrace_index = index
+        return index
+
+    def _collect_event_attrs(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            targets, value = _assign_parts(node) if isinstance(node, ast.stmt) else (None, None)
+            if targets is None or not isinstance(value, ast.Call):
+                continue
+            maker = _terminal_name(value.func)
+            if maker not in ("event", "Event"):
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    self.event_attrs.add(target.attr)
+
+    def cfg(self, func) -> CFG:
+        cached = self._cfgs.get(id(func))
+        if cached is None:
+            cached = build_cfg(func)
+            self._cfgs[id(func)] = cached
+        return cached
+
+
+# ----------------------------------------------------------------------
+# Shared phase-flip path search: phase 0 before the first yield after the
+# capture, phase 1 after it. Callers supply the per-statement verdicts.
+# ----------------------------------------------------------------------
+def _phased_search(cfg, start: CFGNode, kill, hit) -> list[tuple[ast.stmt, object]]:
+    """Walk ``cfg`` from ``start``'s successors, flipping a phase bit at
+    yield nodes. ``kill(stmt, phase)`` prunes a branch; ``hit(stmt, phase)``
+    (checked only in phase 1) reports a finding and prunes. Returns the
+    findings as ``(stmt, payload)`` pairs, deduplicated by statement."""
+    findings: dict[int, tuple[ast.stmt, object]] = {}
+    stack = [(succ, 0) for succ in start.succ]
+    stack += [(succ, 1) for succ in start.exc_succ]
+    seen: set[tuple[int, int]] = set()
+    while stack:
+        node, phase = stack.pop()
+        if (node.index, phase) in seen or node.is_terminal:
+            continue
+        seen.add((node.index, phase))
+        if node.stmt is not None:
+            if kill(node.stmt, phase):
+                continue
+            if phase == 1:
+                payload = hit(node.stmt, phase)
+                if payload is not None:
+                    findings.setdefault(id(node.stmt), (node.stmt, payload))
+                    continue
+        next_phase = 1 if node.yields else phase
+        for succ in node.succ:
+            stack.append((succ, next_phase))
+        for succ in node.exc_succ:
+            stack.append((succ, 1 if node.yields else next_phase))
+    return list(findings.values())
+
+
+# ----------------------------------------------------------------------
+@rule
+class StaleReadAcrossYieldRule(Rule):
+    """SIM101 — check-then-act on shared attributes across a yield.
+
+    ``v = self.x`` (where some method reassigns ``self.x``) followed by a
+    yield and then a dependent use of ``v`` acts on state that may have
+    changed while the process was suspended. Re-read the attribute after
+    the yield, or re-validate before acting. Exemptions: using ``v`` in a
+    ``return`` (the caller decides), and the save/restore idiom
+    ``self.x = v`` with a bare local (writing back a deliberately captured
+    snapshot).
+    """
+
+    code = "SIM101"
+    title = "stale read across yield"
+
+    def check(self, module):
+        index = ModuleIndex.of(module)
+        for func in _functions(module.tree):
+            cfg = index.cfg(func)
+            if not any(cfg.yield_nodes()):
+                continue
+            mutable = index.mutable_attrs_for(func.name) - self.config.simrace_stable_attrs
+            if mutable:
+                yield from self._check_function(cfg, mutable)
+
+    def _check_function(self, cfg, mutable):
+        taint: dict[str, set[str]] = {}
+        flagged: set[tuple[int, str]] = set()
+        for node in cfg.stmt_nodes():
+            targets, value = _assign_parts(node.stmt)
+            if targets is None:
+                continue
+            sources = _attr_reads(value) & mutable
+            for read in _name_reads(value):
+                sources |= taint.get(read, set())
+            names = [n for t in targets for n in _target_names(t)]
+            for name in names:
+                taint[name] = set(sources)
+            if not sources:
+                continue
+            for name in names:
+                for use_stmt, srcs in self._search(cfg, node, name, sources):
+                    if (use_stmt.lineno, name) in flagged:
+                        continue
+                    flagged.add((use_stmt.lineno, name))
+                    yield use_stmt, (
+                        "{!r} (from {} at line {}) may be stale: the process "
+                        "yielded since it was read; re-read or re-validate "
+                        "the attribute before acting on it".format(
+                            name,
+                            "/".join("self.{}".format(s) for s in sorted(srcs)),
+                            node.stmt.lineno,
+                        )
+                    )
+
+    def _search(self, cfg, start, name, sources):
+        def kill(stmt, phase):
+            if _binds_name(stmt, name):
+                return True
+            if phase == 1 and self._revalidates(stmt, sources):
+                return True
+            return False
+
+        def hit(stmt, phase):
+            if isinstance(stmt, (ast.Return, ast.ExceptHandler)):
+                return None
+            if self._is_restore(stmt, name, sources):
+                return None
+            if _header_uses_name(stmt, name):
+                return sources
+            return None
+
+        return _phased_search(cfg, start, kill, hit)
+
+    @staticmethod
+    def _revalidates(stmt, sources):
+        for node in header_walk(stmt):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Load)
+                and node.attr in sources
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _is_restore(stmt, name, sources):
+        targets, value = _assign_parts(stmt)
+        if targets is None or len(targets) != 1:
+            return False
+        target = targets[0]
+        return (
+            isinstance(target, ast.Attribute)
+            and target.attr in sources
+            and isinstance(value, ast.Name)
+            and value.id == name
+        )
+
+
+# ----------------------------------------------------------------------
+@rule
+class LeakedAcquireRule(Rule):
+    """SIM102 — acquire without release/cancel_acquire on every path.
+
+    A sim ``Resource`` slot is acquired with a zero-argument ``.acquire()``
+    returning an event. Every path from the acquire to function exit —
+    including the exceptional continuations created by an Interrupt thrown
+    at a later yield — must either ``.release()`` the resource (if the
+    grant was taken) or ``.cancel_acquire(event)`` it (if still queued).
+    A path that reaches exit with neither wedges every later waiter: the
+    PR 5 replay-slot leak class.
+    """
+
+    code = "SIM102"
+    title = "leaked acquire"
+
+    def check(self, module):
+        index = ModuleIndex.of(module)
+        for func in _functions(module.tree):
+            cfg = index.cfg(func)
+            for node in cfg.stmt_nodes():
+                finding = self._check_acquire(index, func, cfg, node)
+                if finding is not None:
+                    yield finding
+
+    def _check_acquire(self, index, func, cfg, node):
+        targets, value = _assign_parts(node.stmt)
+        if targets is None or len(targets) != 1:
+            return None
+        if not isinstance(targets[0], ast.Name):
+            return None  # stored on self / in a container: tracked elsewhere
+        if not (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "acquire"
+            and not value.args
+            and not value.keywords
+        ):
+            return None
+        key = receiver_key(value.func.value)
+        if key is None:
+            return None
+        var = targets[0].id
+        if self._escapes(func, node.stmt, var):
+            return None
+        leak_kinds = self._leak_paths(index, cfg, node, key)
+        if not leak_kinds:
+            return None
+        where = " and ".join(sorted(leak_kinds))
+        return node.stmt, (
+            "acquire of {key} can leak: a {where} reaches function exit "
+            "without {key}.release() or {key}.cancel_acquire({var}); waiters "
+            "behind the lost slot wedge forever".format(key=key, where=where, var=var)
+        )
+
+    @staticmethod
+    def _escapes(func, acquire_stmt, var):
+        """The event handle leaves the function: someone else may clean up."""
+        for node in walk_no_functions(ast.Module(body=func.body, type_ignores=[])):
+            if isinstance(node, ast.Return) and node.value is not None:
+                if _uses_name(node.value, var):
+                    return True
+            elif isinstance(node, ast.Assign) and node is not acquire_stmt:
+                if _uses_name(node.value, var) and any(
+                    not isinstance(t, ast.Name) for t in node.targets
+                ):
+                    return True
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in ("append", "add", "put") and any(
+                    _uses_name(arg, var) for arg in node.args
+                ):
+                    return True
+        return False
+
+    def _leak_paths(self, index, cfg, start, key):
+        """Which kinds of paths (normal / Interrupt) leak the acquire."""
+        kinds: set[str] = set()
+        stack = [(succ, False) for succ in start.succ]
+        seen: set[tuple[int, bool]] = set()
+        while stack:
+            node, via_exc = stack.pop()
+            if (node.index, via_exc) in seen:
+                continue
+            seen.add((node.index, via_exc))
+            if node.is_terminal:
+                kinds.add("Interrupt/exception path" if via_exc else "normal path")
+                continue
+            if node.stmt is not None and self._closes(index, node.stmt, key):
+                continue
+            for succ in node.succ:
+                stack.append((succ, via_exc))
+            for succ in node.exc_succ:
+                stack.append((succ, True))
+        return kinds
+
+    @staticmethod
+    def _closes(index, stmt, key):
+        for node in header_walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Attribute):
+                if node.func.attr in ("release", "cancel_acquire"):
+                    if receiver_key(node.func.value) == key:
+                        return True
+                # One-level interprocedural: self._helper() that releases.
+                if isinstance(node.func.value, ast.Name) and node.func.value.id == "self":
+                    if key in index.releases_by_func.get(node.func.attr, ()):
+                        return True
+            elif isinstance(node.func, ast.Name):
+                if key in index.releases_by_func.get(node.func.id, ()):
+                    return True
+        return False
+
+
+# ----------------------------------------------------------------------
+@rule
+class UnfencedEpochRule(Rule):
+    """SIM103 — epoch / route read before a yield, acted on after it.
+
+    Two complementary hazards around RPC sends:
+
+    - *epoch*: a configuration epoch captured before a yield is neither
+      re-read nor carried in a send issued after the yield — the receiver
+      cannot fence out the stale sender (the PR 6 StaleEpoch class).
+    - *route*: a destination resolved from leader/owner state before a
+      yield is used as a send argument after it — the leader may have
+      failed over while the process was suspended.
+    """
+
+    code = "SIM103"
+    title = "unfenced epoch/route across yield"
+
+    def check(self, module):
+        index = ModuleIndex.of(module)
+        for func in _functions(module.tree):
+            cfg = index.cfg(func)
+            if not any(cfg.yield_nodes()):
+                continue
+            for node in cfg.stmt_nodes():
+                targets, value = _assign_parts(node.stmt)
+                if targets is None or len(targets) != 1:
+                    continue
+                if not isinstance(targets[0], ast.Name):
+                    continue
+                source = self._fence_source(value)
+                if source is None:
+                    continue
+                kind, src_name = source
+                var = targets[0].id
+                yield from self._trace(cfg, node, var, kind, src_name)
+
+    @staticmethod
+    def _fence_source(value):
+        name = None
+        if isinstance(value, ast.Attribute) and isinstance(value.ctx, ast.Load):
+            name = value.attr
+        elif isinstance(value, ast.Call):
+            name = _terminal_name(value.func)
+        if name in EPOCH_NAMES:
+            return ("epoch", name)
+        if name in ROUTE_NAMES:
+            return ("route", name)
+        return None
+
+    def _trace(self, cfg, start, var, kind, src_name):
+        def kill(stmt, phase):
+            if _binds_name(stmt, var):
+                return True
+            if phase == 1 and self._rereads(stmt, src_name):
+                return True
+            return False
+
+        def hit(stmt, phase):
+            for call in self._send_calls(stmt):
+                carried = any(_uses_name(arg, var) for arg in call.args) or any(
+                    _uses_name(kw.value, var) for kw in call.keywords
+                )
+                if kind == "epoch" and not carried:
+                    return "unfenced"
+                if kind == "route" and carried:
+                    return "stale"
+            return None
+
+        for stmt, verdict in _phased_search(cfg, start, kill, hit):
+            if verdict == "unfenced":
+                yield stmt, (
+                    "send after a yield does not carry the epoch fence "
+                    "{!r} captured at line {}; re-read the epoch after the "
+                    "yield or pass {!r} so the receiver can fence staleness".format(
+                        src_name, start.stmt.lineno, var
+                    )
+                )
+            else:
+                yield stmt, (
+                    "destination {!r} (from {!r} at line {}) may be stale "
+                    "after the yield: the leader/owner can change while "
+                    "suspended; re-resolve it before sending".format(
+                        var, src_name, start.stmt.lineno
+                    )
+                )
+
+    @staticmethod
+    def _rereads(stmt, src_name):
+        for node in header_walk(stmt):
+            if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+                if node.attr == src_name:
+                    return True
+            elif isinstance(node, ast.Call) and _terminal_name(node.func) == src_name:
+                return True
+        return False
+
+    @staticmethod
+    def _send_calls(stmt):
+        for node in header_walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in SEND_NAMES
+            ):
+                yield node
+
+
+# ----------------------------------------------------------------------
+@rule
+class UnguardedEventSettleRule(Rule):
+    """SIM104 — a shared Event settled from two processes without a guard.
+
+    ``Event.succeed()`` / ``.fail()`` raise ``triggered twice`` when the
+    event is already settled. An event stored on ``self`` and settled from
+    more than one function is a rendezvous between concurrent processes:
+    every settle site needs either a ``.triggered`` guard or an ownership
+    transfer (swap the attribute to a local and clear it — the ``_kick``
+    idiom — or ``pop`` it from a registry) so only one process can win.
+    """
+
+    code = "SIM104"
+    title = "unguarded event settle"
+
+    def check(self, module):
+        index = ModuleIndex.of(module)
+        if not index.event_attrs:
+            return
+        sites: dict[str, list[tuple[str, ast.Call, bool]]] = {}
+        for func in _functions(module.tree):
+            for attr, call, guarded in self._settle_sites(index, func):
+                sites.setdefault(attr, []).append((func.name, call, guarded))
+        for attr, entries in sorted(sites.items()):
+            functions = {name for name, _call, _guarded in entries}
+            if len(functions) < 2:
+                continue
+            for name, call, guarded in entries:
+                if guarded:
+                    continue
+                yield call, (
+                    "event attribute 'self.{attr}' is settled from {n} "
+                    "functions ({fns}); an unguarded {verb}() loses the race "
+                    "and raises 'triggered twice' — guard with .triggered or "
+                    "take ownership (swap the attribute to a local, clear it, "
+                    "then settle)".format(
+                        attr=attr,
+                        n=len(functions),
+                        fns=", ".join(sorted(functions)),
+                        verb=call.func.attr,
+                    )
+                )
+
+    def _settle_sites(self, index, func):
+        transfers, aliases = self._aliases(index, func)
+        for node in walk_no_functions(ast.Module(body=func.body, type_ignores=[])):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("succeed", "fail")
+            ):
+                continue
+            receiver = node.func.value
+            attr = None
+            owned = False
+            if (
+                isinstance(receiver, ast.Attribute)
+                and isinstance(receiver.value, ast.Name)
+                and receiver.value.id == "self"
+                and receiver.attr in index.event_attrs
+            ):
+                attr = receiver.attr
+            elif isinstance(receiver, ast.Name) and receiver.id in aliases:
+                attr = aliases[receiver.id]
+                owned = receiver.id in transfers
+            if attr is None:
+                continue
+            guarded = owned or self._has_triggered_guard(func, node)
+            yield attr, node, guarded
+
+    def _aliases(self, index, func):
+        """Locals aliasing ``self.X`` events; which took ownership."""
+        aliases: dict[str, str] = {}
+        transfers: set[str] = set()
+        cleared: set[str] = set()
+        for node in walk_no_functions(ast.Module(body=func.body, type_ignores=[])):
+            if not isinstance(node, ast.Assign):
+                continue
+            # Tuple swap: ``armed, self.X = self.X, None``
+            if (
+                len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Tuple)
+                and isinstance(node.value, ast.Tuple)
+                and len(node.targets[0].elts) == len(node.value.elts)
+            ):
+                pairs = zip(node.targets[0].elts, node.value.elts)
+            else:
+                pairs = [(t, node.value) for t in node.targets]
+            for target, value in pairs:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and target.attr in index.event_attrs
+                    and not (
+                        isinstance(value, ast.Attribute)
+                        and receiver_key(value) == "self." + target.attr
+                    )
+                ):
+                    cleared.add(target.attr)  # attribute replaced/cleared
+                if (
+                    isinstance(target, ast.Name)
+                    and isinstance(value, ast.Attribute)
+                    and isinstance(value.value, ast.Name)
+                    and value.value.id == "self"
+                    and value.attr in index.event_attrs
+                ):
+                    aliases[target.id] = value.attr
+        for name, attr in aliases.items():
+            if attr in cleared:
+                transfers.add(name)
+        return transfers, aliases
+
+    @staticmethod
+    def _has_triggered_guard(func, settle_call):
+        """Is the settle nested under an ``if`` testing ``.triggered``?"""
+
+        def guarded(stmts, active):
+            for stmt in stmts:
+                if isinstance(stmt, ast.If):
+                    tests_triggered = any(
+                        isinstance(n, ast.Attribute) and n.attr == "triggered"
+                        for n in walk_no_functions(stmt.test)
+                    )
+                    if any(n is settle_call for n in walk_no_functions(stmt.test)):
+                        return active
+                    for block in (stmt.body, stmt.orelse):
+                        found = guarded(block, active or tests_triggered)
+                        if found is not None:
+                            return found
+                    continue
+                # Other compound statements: recurse into child blocks first.
+                blocks: list[ast.stmt] = []
+                for _field, value in ast.iter_fields(stmt):
+                    if isinstance(value, list):
+                        for child in value:
+                            if isinstance(child, ast.ExceptHandler):
+                                blocks.extend(child.body)
+                            elif isinstance(child, ast.stmt):
+                                blocks.append(child)
+                if blocks:
+                    found = guarded(blocks, active)
+                    if found is not None:
+                        return found
+                for node in walk_no_functions(stmt):
+                    if node is settle_call:
+                        return active
+            return None
+
+        return bool(guarded(func.body, False))

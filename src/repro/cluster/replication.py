@@ -192,7 +192,8 @@ class ShardReplicaGroup:
         self._prepared = {}
         self._pump_reader = leader_node.wal.reader(from_lsn)
         self._pump_proc = self.sim.spawn(
-            self._pump(leader_node), name="repl-pump:{}".format(self.shard_id)
+            self._pump(leader_node, self._pump_reader),
+            name="repl-pump:{}".format(self.shard_id),
         )
 
     def _stop_pump(self):
@@ -230,10 +231,14 @@ class ShardReplicaGroup:
     # ------------------------------------------------------------------
     # Leader pump: leader WAL -> group log (shard-routed, as in PR 5)
     # ------------------------------------------------------------------
-    def _pump(self, leader_node):
+    def _pump(self, leader_node, reader):
+        # The reader is handed in by _start_pump rather than re-read from
+        # self._pump_reader: the attribute changes on every reconfiguration,
+        # and this pump generation must keep its own cursor even if a stale
+        # scheduling slot runs it one last time after an election replaced
+        # the pump (check-then-act across the yields below).
         try:
             wal = leader_node.wal
-            reader = self._pump_reader
             cpu = leader_node.cpu
             batch = self.config.repl_ship_batch
             charge = self.costs.cpu_propagate * batch
@@ -346,16 +351,25 @@ class ShardReplicaGroup:
                 size = self.config.propagation_msg_overhead
                 if entry.records:
                     size += sum(r.size for r in entry.records)
-                leader_node = self.leader_node_id
                 yield from self.cluster.rpc_send(
-                    leader_node, replica.node_id, size, persistent=True
+                    self.leader_node_id, replica.node_id, size, persistent=True
                 )
                 COUNTERS.repl_ship_batches += 1
+                # An election/rehome catch-up may have applied this entry (and
+                # more) to the replica while the ship RPC was in flight:
+                # re-applying would double-count, and the cursor write below
+                # would roll next_index back over the newer applies.
+                if replica.next_index > entry.seq:
+                    continue
                 yield from self._apply_entry(replica, entry)
+                if replica.next_index > entry.seq:
+                    continue  # overtaken while applying: never rewind the cursor
                 replica.next_index = entry.seq + 1
                 replica.applied_sig = entry.sig
+                # Ack to the *current* leader: the one that shipped the entry
+                # may have been deposed while the feeder was suspended.
                 yield from self.cluster.rpc_send(
-                    replica.node_id, leader_node, _ACK_SIZE, persistent=True
+                    replica.node_id, self.leader_node_id, _ACK_SIZE, persistent=True
                 )
                 if replica.replica_id not in entry.acked_by:
                     entry.acked_by.append(replica.replica_id)
@@ -455,7 +469,14 @@ class ShardReplicaGroup:
                 silent += interval
                 if silent >= self.config.repl_lease_timeout:
                     silent = 0.0
-                    yield from self._elect()
+                    # Re-validate after the probe yield: the leader may have
+                    # healed (or an election already replaced it) while the
+                    # probe RPC was in flight — electing on the stale
+                    # pre-probe liveness check would depose a healthy leader
+                    # and burn an epoch for nothing.
+                    leader = self._by_id(self.leader_id)
+                    if self.replica_down(leader):
+                        yield from self._elect()
         except Interrupt:
             return
 
@@ -527,6 +548,11 @@ class ShardReplicaGroup:
         while replica.next_index < len(self.log):
             entry = self.log[replica.next_index]
             yield from self._apply_entry(replica, entry)
+            # The replica's feeder may have applied this entry concurrently
+            # while the apply above was paying its CPU charge: skip instead
+            # of rolling the cursor back over the feeder's progress.
+            if replica.next_index > entry.seq:
+                continue
             replica.next_index = entry.seq + 1
             replica.applied_sig = entry.sig
             if replica.replica_id not in entry.acked_by:

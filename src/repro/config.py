@@ -11,6 +11,52 @@ from dataclasses import dataclass, field
 
 from repro.sim.network import NetworkConfig
 
+# ----------------------------------------------------------------------
+# Lint scoping (simlint / simrace)
+#
+# One declarative table for where each rule applies, consumed by
+# ``repro.analysis.engine.default_config``. Patterns are fnmatch globs
+# against posix paths relative to the lint root (``*/`` tolerant). An empty
+# / missing "include" means "everywhere under the linted roots"; "exclude"
+# always wins. Rationale for the exemptions:
+#
+# - The DES kernel and the RNG module are the only places allowed to touch
+#   the primitives they encapsulate (virtual time / seeding) — exempt from
+#   SIM001 / SIM002 respectively.
+# - The bench timing modules and the profiler measure host wall-clock time
+#   *by definition* and never feed it back into the simulation — exempt
+#   from SIM001 only.
+# - The analysis package lints everything but itself.
+# - The protocol rules (SIM004 raw sends; SIM101–SIM104 yield-point races)
+#   apply to protocol code only: the RPC layer and the network model
+#   legitimately call raw ``send`` and juggle their own state across
+#   yields, and live outside these paths.
+# ----------------------------------------------------------------------
+_LINT_SELF = ("*/analysis/*",)
+_WALL_CLOCK_OK = (
+    "*/sim/kernel.py",
+    "*/bench/kernel_bench.py",
+    "*/bench/txn_bench.py",
+    "*/bench/migration_bench.py",
+    "*/bench/sweep.py",
+    "*/profiling/*",
+)
+_PROTOCOL_PATHS = ("*/txn/*", "*/migration/*", "*/cluster/*", "*/faults/*")
+
+#: rule code -> {"include": globs, "exclude": globs} (either key optional).
+LINT_RULE_SCOPES: dict[str, dict[str, tuple[str, ...]]] = {
+    "SIM001": {"exclude": _WALL_CLOCK_OK + _LINT_SELF},
+    "SIM002": {"exclude": ("*/sim/rng.py",) + _LINT_SELF},
+    "SIM003": {"exclude": _LINT_SELF},
+    "SIM004": {"include": _PROTOCOL_PATHS},
+    "SIM005": {"exclude": _LINT_SELF},
+    "SIM006": {"exclude": _LINT_SELF},
+    "SIM101": {"include": _PROTOCOL_PATHS},
+    "SIM102": {"include": _PROTOCOL_PATHS},
+    "SIM103": {"include": _PROTOCOL_PATHS},
+    "SIM104": {"include": _PROTOCOL_PATHS},
+}
+
 
 @dataclass
 class CostModel:

@@ -537,10 +537,11 @@ class Propagation:
         )
 
     def _validate(self, xid, start_ts, records, entry, predecessors, done, ops=None):
-        mocc = self.mocc
         shadow = None
         slot_request = None
         holding_slot = False
+        validated = False
+        ack = None
         try:
             yield from self._wait_apply_gate()
             for predecessor in predecessors:
@@ -555,25 +556,18 @@ class Propagation:
             else:
                 yield from self._replay_records(shadow, records)
             yield from self.dest_node.manager.local_prepare(shadow)
+            validated = True
+            ack = True
         except (Interrupt, RpcAbort) as exc:
             # Migration torn down mid-validation (or the destination became
-            # unreachable): abort the shadow, release everything, and fail
-            # the waiting source transaction (it is terminated by the crash
-            # handler, §3.7).
+            # unreachable): abort the shadow and fail the waiting source
+            # transaction (it is terminated by the crash handler, §3.7).
             if isinstance(exc, RpcAbort):
                 self.wounded = exc
             if shadow is not None and not shadow.finished:
                 yield from self.dest_node.manager.local_abort(shadow)
                 shadow.state = TxnState.ABORTED
                 self.cluster.finish_txn(shadow, committed=False)
-            if holding_slot:
-                self._slots.release()
-            else:
-                self._slots.cancel_acquire(slot_request)
-            self.pending_records -= len(records)
-            self.unreplayed_records -= len(records)
-            self._finish_task(entry, done)
-            return
         except SerializationFailure:
             # WW-conflict with a destination transaction: abort the shadow
             # and tell the source to abort too (both sides roll back).
@@ -581,22 +575,32 @@ class Propagation:
             yield from self.dest_node.manager.local_abort(shadow)
             shadow.state = TxnState.ABORTED
             self.cluster.finish_txn(shadow, committed=False)
-            self._slots.release()
+            ack = False
+        finally:
+            # One cleanup path for every outcome — validated, WW-conflicted,
+            # interrupted, wounded, or an exception the handlers above never
+            # match: the replay slot and the task accounting must not depend
+            # on which way the try block exited. (The abort yields above sit
+            # before this block on purpose: an Interrupt landing in an abort
+            # wait used to skip the release and wedge drain() forever.)
+            if holding_slot:
+                self._slots.release()
+            else:
+                self._slots.cancel_acquire(slot_request)
             self.pending_records -= len(records)
             self.unreplayed_records -= len(records)
-            self._finish_task(entry, done)
-            yield from self._post_ack(mocc, xid, ok=False)
-            return
-        self._slots.release()
-        self.pending_records -= len(records)
-        self.unreplayed_records -= len(records)
-        # Changes are applied (prepared); keep the key chain until resolution
-        # but let the applied watermark advance past this transaction.
-        if entry in self._inflight:
-            self._inflight.remove(entry)
-        self._check_applied_waiters()
-        self._validated[xid] = (shadow, (entry, done))
-        yield from self._post_ack(mocc, xid, ok=True)
+            if validated:
+                # Changes are applied (prepared); keep the key chain until
+                # resolution but let the applied watermark advance past this
+                # transaction.
+                if entry in self._inflight:
+                    self._inflight.remove(entry)
+                self._check_applied_waiters()
+                self._validated[xid] = (shadow, (entry, done))
+            else:
+                self._finish_task(entry, done)
+        if ack is not None:
+            yield from self._post_ack(self.mocc, xid, ok=ack)
 
     def _post_ack(self, mocc, xid, ok):
         """Generator: deliver a validation outcome to the blocked source

@@ -1,0 +1,25 @@
+"""SIM101: a capture hoisted out of a pump loop goes stale on iteration two.
+
+``resize`` can change the window while the pump sleeps; every later
+iteration ships with the stale budget.
+"""
+
+
+class Pump:
+    def __init__(self, sim, peer):
+        self.sim = sim
+        self.peer = peer
+        self.window = 8
+        self.running = True
+
+    def resize(self, n):
+        self.window = n
+
+    def stop(self):
+        self.running = False
+
+    def run(self):
+        budget = self.window
+        while self.running:
+            yield self.sim.timeout(1)
+            self.peer.ship(budget)

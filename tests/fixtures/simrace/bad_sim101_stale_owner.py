@@ -1,0 +1,20 @@
+"""SIM101: the owner-of-record is cached before a yield and acted on after.
+
+``rehome`` can move the shard while ``migrate`` is suspended at the
+timeout; the transfer then targets the old owner.
+"""
+
+
+class ShardMover:
+    def __init__(self, sim, cluster):
+        self.sim = sim
+        self.cluster = cluster
+        self.owner = 0
+
+    def rehome(self, node_id):
+        self.owner = node_id
+
+    def migrate(self, shard, payload):
+        owner = self.owner
+        yield self.sim.timeout(1)
+        self.cluster.transfer(owner, shard, payload)

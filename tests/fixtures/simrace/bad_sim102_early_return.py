@@ -1,0 +1,23 @@
+"""SIM102: an early return between acquire and release drops the slot.
+
+The empty-batch shortcut exits the function while still holding the
+grant, so every later waiter queues behind a slot nobody will return.
+"""
+
+
+class Replayer:
+    def __init__(self, sim, slots):
+        self.sim = sim
+        self._slots = slots
+
+    def replay(self, batch):
+        slot = self._slots.acquire()
+        yield slot
+        if not batch:
+            return
+        yield from self.apply(batch)
+        self._slots.release()
+
+    def apply(self, batch):
+        for record in batch:
+            yield self.sim.timeout(record)

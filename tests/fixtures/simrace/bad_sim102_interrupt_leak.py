@@ -1,0 +1,21 @@
+"""SIM102: the replay slot leaks when an Interrupt lands at a later yield.
+
+The release only sits on the straight-line path; an Interrupt thrown at
+either yield unwinds past it and the slot is never returned.
+"""
+
+
+class Replayer:
+    def __init__(self, sim, slots):
+        self.sim = sim
+        self._slots = slots
+
+    def replay(self, batch):
+        slot = self._slots.acquire()
+        yield slot
+        yield from self.apply(batch)
+        self._slots.release()
+
+    def apply(self, batch):
+        for record in batch:
+            yield self.sim.timeout(record)

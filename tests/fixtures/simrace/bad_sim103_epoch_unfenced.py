@@ -1,0 +1,22 @@
+"""SIM103: an epoch fence read before a yield is dropped from the send.
+
+The replication wait can overlap a failover epoch bump; the send after it
+carries no fence, so the receiver cannot reject the stale sender.
+"""
+
+
+class Preparer:
+    def __init__(self, cluster, node_id):
+        self.cluster = cluster
+        self.node_id = node_id
+        self.epoch = 0
+        self.log = []
+
+    def prepare(self, dest, payload):
+        epoch = self.epoch
+        self.log.append((epoch, dest))
+        yield from self.replicate(payload)
+        yield self.cluster.rpc_send(dest, self.node_id, payload)
+
+    def replicate(self, payload):
+        yield self.cluster.fsync(payload)

@@ -1,0 +1,20 @@
+"""SIM103: a leader resolved before a yield is used as the send target.
+
+The leader can fail over while ``forward`` waits in ``flush``; the send
+then targets the deposed node.
+"""
+
+
+class Forwarder:
+    def __init__(self, cluster, node_id):
+        self.cluster = cluster
+        self.node_id = node_id
+        self.leader_node_id = 0
+
+    def forward(self, payload):
+        leader = self.leader_node_id
+        yield from self.flush()
+        yield self.cluster.rpc_send(leader, self.node_id, payload)
+
+    def flush(self):
+        yield self.cluster.fsync(self.node_id)

@@ -1,0 +1,17 @@
+"""SIM104: one rendezvous event settled from two processes with no guard.
+
+Whichever of ``complete`` / ``abort`` runs second settles an already
+settled event and raises "triggered twice".
+"""
+
+
+class Rendezvous:
+    def __init__(self, sim):
+        self.sim = sim
+        self.done = sim.event()
+
+    def complete(self, value):
+        self.done.succeed(value)
+
+    def abort(self, error):
+        self.done.fail(error)

@@ -1,0 +1,18 @@
+"""Clean: the owner is re-validated after the yield before acting on it."""
+
+
+class ShardMover:
+    def __init__(self, sim, cluster):
+        self.sim = sim
+        self.cluster = cluster
+        self.owner = 0
+
+    def rehome(self, node_id):
+        self.owner = node_id
+
+    def migrate(self, shard, payload):
+        owner = self.owner
+        yield self.sim.timeout(1)
+        if owner != self.owner:
+            return
+        self.cluster.transfer(owner, shard, payload)

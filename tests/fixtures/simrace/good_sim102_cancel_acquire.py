@@ -1,0 +1,29 @@
+"""Clean: a helper owns the release/cancel pairing for every exit.
+
+Exercises the one-level interprocedural lookup: the finally delegates to
+``_release_slot``, which releases a taken grant or cancels a queued one.
+"""
+
+
+class Replayer:
+    def __init__(self, sim, slots):
+        self.sim = sim
+        self._slots = slots
+
+    def replay(self, batch):
+        slot = self._slots.acquire()
+        try:
+            yield slot
+            yield from self.apply(batch)
+        finally:
+            self._release_slot(slot)
+
+    def _release_slot(self, slot):
+        if slot.triggered:
+            self._slots.release()
+        else:
+            self._slots.cancel_acquire(slot)
+
+    def apply(self, batch):
+        for record in batch:
+            yield self.sim.timeout(record)

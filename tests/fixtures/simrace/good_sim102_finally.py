@@ -1,0 +1,29 @@
+"""Clean: the acquire is paired with release/cancel on every path.
+
+The ``holding`` flag distinguishes a taken grant from a queued request, so
+the finally block returns the slot no matter where an Interrupt lands.
+"""
+
+
+class Replayer:
+    def __init__(self, sim, slots):
+        self.sim = sim
+        self._slots = slots
+
+    def replay(self, batch):
+        slot = None
+        holding = False
+        try:
+            slot = self._slots.acquire()
+            yield slot
+            holding = True
+            yield from self.apply(batch)
+        finally:
+            if holding:
+                self._slots.release()
+            else:
+                self._slots.cancel_acquire(slot)
+
+    def apply(self, batch):
+        for record in batch:
+            yield self.sim.timeout(record)

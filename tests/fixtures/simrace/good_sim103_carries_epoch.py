@@ -1,0 +1,26 @@
+"""Clean: the epoch fence rides in the send; the route is re-resolved.
+
+``prepare`` carries the captured epoch so the receiver can fence staleness;
+``forward`` resolves the leader only after its last yield.
+"""
+
+
+class Preparer:
+    def __init__(self, cluster, node_id):
+        self.cluster = cluster
+        self.node_id = node_id
+        self.epoch = 0
+        self.leader_node_id = 0
+
+    def prepare(self, dest, payload):
+        epoch = self.epoch
+        yield from self.replicate(payload)
+        yield self.cluster.rpc_send(dest, self.node_id, payload, epoch=epoch)
+
+    def forward(self, payload):
+        yield from self.replicate(payload)
+        leader = self.leader_node_id
+        yield self.cluster.rpc_send(leader, self.node_id, payload)
+
+    def replicate(self, payload):
+        yield self.cluster.fsync(payload)

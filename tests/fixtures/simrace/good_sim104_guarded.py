@@ -1,0 +1,21 @@
+"""Clean: every settle is guarded or owns the event outright.
+
+``complete`` checks ``.triggered``; ``abort`` swaps the attribute to a
+local and clears it first (the ownership-transfer idiom), so only one
+process can ever settle the event.
+"""
+
+
+class Rendezvous:
+    def __init__(self, sim):
+        self.sim = sim
+        self.done = sim.event()
+
+    def complete(self, value):
+        if not self.done.triggered:
+            self.done.succeed(value)
+
+    def abort(self, error):
+        armed, self.done = self.done, None
+        if armed is not None:
+            armed.fail(error)

@@ -156,3 +156,83 @@ def test_migration_rejects_wrong_source(cluster):
     shard = cluster.shards_on_node("node-2", table="t")[0]
     with pytest.raises(ValueError, match="not on source"):
         RemusMigration(cluster, [shard], "node-1", "node-2")
+
+
+def test_ww_conflict_interrupt_mid_abort_releases_slot(cluster):
+    """Regression (SIM102): a crash-teardown Interrupt landing inside the
+    WW-conflict shadow abort must still release the replay slot and the
+    record accounting — the old handler-local cleanup skipped both, wedging
+    ``drain()`` (and every later validation) on the leaked slot."""
+    from repro.sim import Interrupt
+
+    prop, stats = make_propagation(cluster)
+    shard = cluster.shards_on_node("node-2", table="t")[0]
+
+    class MoccStub:
+        def __init__(self):
+            self.results = []
+
+        def post_result(self, xid, ok):
+            self.results.append((xid, ok))
+
+    mocc = MoccStub()
+    prop.enable_sync(mocc)
+    prop.start()
+
+    # A destination transaction commits key `key` at ts=100, after the
+    # source transaction's snapshot (start_ts=1): the shadow's replayed
+    # UPDATE hits first-updater-wins and raises SerializationFailure.
+    node2 = cluster.nodes["node-2"]
+    heap = node2.heap_for(shard)
+    key = next(k for k in range(40) if k in heap)
+    stomped = heap.latest_committed_or_locked(key)
+    node2.clog.begin(777)
+    heap.mark_deleted(stomped, 777)
+    heap.put_version(key, {"v": "dest"}, 777)
+    node2.clog.set_committed(777, 100)
+
+    real_abort = node2.manager.local_abort
+
+    def crash_mid_abort(txn):
+        # Tear the migration down while the shadow abort is suspended —
+        # interrupt() lands at this generator's next yield, i.e. inside
+        # the SerializationFailure handler of _validate.
+        task = next(t for t in prop._tasks if t.name == "shadow-validate")
+        task.interrupt("teardown mid-abort")
+        yield 0.0
+        yield from real_abort(txn)
+
+    node2.manager.local_abort = crash_mid_abort
+
+    cluster.nodes["node-1"].wal.append(
+        WalRecord(
+            WalRecordKind.UPDATE,
+            xid=950,
+            shard_id=shard,
+            key=key,
+            value={"v": "src"},
+            size=100,
+            start_ts=1,
+        )
+    )
+    cluster.nodes["node-1"].wal.append(
+        WalRecord(WalRecordKind.PREPARE, xid=950, start_ts=1)
+    )
+    cluster.run(until=1.0)
+    node2.manager.local_abort = real_abort
+
+    assert stats.ww_conflicts == 1
+    # The leaked-slot bug: in_use stayed 1 forever and drain() wedged.
+    assert prop._slots.in_use == 0
+    assert prop._slots.queued == 0
+    assert prop.pending_records == 0
+    assert prop.unreplayed_records == 0
+    assert prop._inflight == []
+    # The ack never went out (the task died first), and the only process
+    # failure is the interrupted validate task itself.
+    assert mocc.results == []
+    failures = cluster.sim.failed_processes
+    assert [type(exc) for _proc, exc in failures] == [Interrupt]
+    assert failures[0][0].name == "shadow-validate"
+    cluster.sim.failed_processes.clear()
+    prop.stop(kill_tasks=True)

@@ -347,3 +347,86 @@ def test_crash_node_on_downed_node_is_idempotent_noop():
     ]
     assert len(fail_marks) == 1
     assert not cluster.sim.failed_processes
+
+
+# ----------------------------------------------------------------------
+# Yield-point races (simrace regressions)
+# ----------------------------------------------------------------------
+def test_monitor_revalidates_leader_after_probe_yield():
+    """Regression (SIM101): the lease monitor checks leader liveness, then
+    suspends on the probe RPC. If the leader heals while the probe is in
+    flight, acting on the pre-probe check would depose a healthy leader and
+    burn an epoch. The monitor must re-validate after the yield."""
+    import math
+
+    cluster = build()
+    cluster.run(until=0.2)
+    shard_id = ShardId(TABLE, 0)
+    group = cluster.replication.group_for(shard_id)
+    old_leader = group.leader_node_id
+    interval = cluster.config.repl_lease_interval
+    needed = math.ceil(cluster.config.repl_lease_timeout / interval)
+
+    real_send = cluster.rpc_send
+    probes = {"count": 0}
+
+    def healing_send(src, dst, size=0, persistent=False):
+        # Heal the leader at the exact probe whose accrued silence crosses
+        # the lease timeout: the monitor's pre-probe check already saw the
+        # leader down, so only a post-probe re-validation can notice.
+        if dst == old_leader and size == 32:
+            probes["count"] += 1
+            if probes["count"] == needed:
+                group.heal_replica(old_leader)
+        yield from real_send(src, dst, size=size, persistent=persistent)
+
+    cluster.rpc_send = healing_send
+    group.crash_replica(old_leader)
+    cluster.run(until=2.0)
+    cluster.rpc_send = real_send
+
+    assert probes["count"] >= needed
+    assert group.epoch == 1, "healed leader was deposed on a stale check"
+    assert group.leader_node_id == old_leader
+    assert COUNTERS.failover_elections == 0
+    assert_group_converged(group)
+    assert not cluster.sim.failed_processes
+
+
+def test_feeder_never_rewinds_cursor_overtaken_during_apply():
+    """Regression (SIM101, loop-carried): the feeder captures a log entry,
+    then suspends inside the apply. A catch-up (election/rehome) advancing
+    ``replica.next_index`` during that suspension must not be overwritten
+    by the feeder's stale ``entry.seq + 1`` — the rewind would re-ship and
+    re-apply entries the catch-up already applied."""
+    cluster = build()
+    cluster.run(until=0.2)
+    group = cluster.replication.group_for(ShardId(TABLE, 0))
+    follower = group.live_followers()[0]
+    base = len(group.log)
+
+    applied = []
+    real_apply = group._apply_entry
+
+    def racing_apply(replica, entry):
+        applied.append((replica.node_id, entry.seq))
+        if replica is follower and entry.seq == base:
+            # Simulate an election catch-up applying both entries directly
+            # while this feeder's ship/apply is still in flight.
+            follower.next_index = base + 2
+            follower.applied_sig = group.log[base + 1].sig
+        yield from real_apply(replica, entry)
+
+    group._apply_entry = racing_apply
+    # Two abort entries: their apply is pure bookkeeping (idempotent), so
+    # the injected race is observable purely through the cursor.
+    group._append_entry("abort", group.leader_node_id, 7001, None, None)
+    group._append_entry("abort", group.leader_node_id, 7002, None, None)
+    cluster.run(until=1.0)
+    group._apply_entry = real_apply
+
+    follower_applies = [seq for node, seq in applied if node == follower.node_id]
+    assert follower_applies == [base], follower_applies
+    assert follower.next_index == base + 2
+    assert_group_converged(group)
+    assert not cluster.sim.failed_processes

@@ -316,6 +316,10 @@ def test_rule_catalogue_complete():
         "SIM004",
         "SIM005",
         "SIM006",
+        "SIM101",
+        "SIM102",
+        "SIM103",
+        "SIM104",
     ]
     for rule_cls in RULES.values():
         assert rule_cls.title

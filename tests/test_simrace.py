@@ -1,0 +1,726 @@
+"""Unit tests for the simrace analyzer: yield-aware CFGs and SIM101–SIM104.
+
+The fixture corpus (tests/test_simrace_corpus.py) pins end-to-end verdicts
+on realistic modules; this file exercises the machinery at close range —
+CFG shapes around try/finally, loops and yield-from, each rule's firing
+condition and each calibrated exemption, and the engine integration
+(scoping, suppression, CLI formats).
+"""
+
+import ast
+import textwrap
+
+from repro.analysis import analyze_source, default_config
+from repro.analysis.cfg import FINALLY_GATE, RAISE_EXIT, build_cfg
+from repro.cli import main as cli_main
+
+PROTOCOL_PATH = "src/repro/txn/fixture.py"
+
+
+def lint(source, path=PROTOCOL_PATH, config=None):
+    return analyze_source(
+        textwrap.dedent(source), path=path, config=config or default_config()
+    )
+
+
+def codes(source, **kwargs):
+    return [violation.rule for violation in lint(source, **kwargs)]
+
+
+# ----------------------------------------------------------------------
+# CFG construction
+# ----------------------------------------------------------------------
+def make_cfg(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return build_cfg(tree.body[0])
+
+
+def stmt_node(cfg, needle):
+    """The unique stmt node whose source line contains ``needle``."""
+    matches = [
+        node
+        for node in cfg.stmt_nodes()
+        if needle in ast.unparse(node.stmt).split("\n")[0]
+    ]
+    assert len(matches) == 1, "expected one node matching {!r}: {}".format(needle, matches)
+    return matches[0]
+
+
+def reachable(node):
+    """Every CFG node reachable from ``node`` via normal or exception flow."""
+    seen = set()
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current.index in seen:
+            continue
+        seen.add(current.index)
+        stack.extend(current.succ)
+        stack.extend(current.exc_succ)
+        yield current
+
+
+def test_cfg_yield_is_a_preemption_point():
+    cfg = make_cfg(
+        """
+        def f(sim):
+            yield sim.timeout(1)
+        """
+    )
+    node = stmt_node(cfg, "yield")
+    assert node.yields
+    assert node.exc_succ == [cfg.raise_exit]
+
+
+def test_cfg_yield_from_is_a_preemption_point():
+    cfg = make_cfg(
+        """
+        def f(self):
+            yield from self.helper()
+        """
+    )
+    assert stmt_node(cfg, "yield from").yields
+
+
+def test_cfg_try_finally_routes_interrupt_through_finally():
+    cfg = make_cfg(
+        """
+        def f(sim, res):
+            try:
+                yield sim.timeout(1)
+            finally:
+                res.release()
+        """
+    )
+    yield_node = stmt_node(cfg, "yield")
+    assert len(yield_node.exc_succ) == 1
+    gate = yield_node.exc_succ[0]
+    assert gate.kind == FINALLY_GATE
+    release = stmt_node(cfg, "res.release")
+    assert release in gate.succ
+    # The finally body continues to BOTH outcomes the gate joined: normal
+    # fall-through (exit) and the re-raised Interrupt (raise_exit).
+    assert cfg.exit in release.succ
+    assert cfg.raise_exit in release.succ
+
+
+def test_cfg_single_fault_model_in_cleanup():
+    cfg = make_cfg(
+        """
+        def f(sim):
+            try:
+                yield sim.timeout(1)
+            except Interrupt:
+                yield sim.timeout(2)
+        """
+    )
+    cleanup_yield = stmt_node(cfg, "timeout(2)")
+    assert cleanup_yield.in_cleanup
+    assert cleanup_yield.exc_succ == []  # the one fault already fired
+
+
+def test_cfg_loop_carried_yield_has_back_edge():
+    cfg = make_cfg(
+        """
+        def f(self, sim):
+            while self.running:
+                yield sim.timeout(1)
+        """
+    )
+    header = stmt_node(cfg, "while")
+    body_yield = stmt_node(cfg, "yield")
+    assert header in body_yield.succ  # back edge
+    assert body_yield.exc_succ == [cfg.raise_exit]
+
+
+def test_cfg_return_chains_through_nested_finally_gates():
+    cfg = make_cfg(
+        """
+        def f(sim, res):
+            try:
+                try:
+                    yield sim.timeout(1)
+                    return
+                finally:
+                    res.inner()
+            finally:
+                res.outer()
+        """
+    )
+    return_node = stmt_node(cfg, "return")
+    assert [succ.kind for succ in return_node.succ] == [FINALLY_GATE]
+    seen = list(reachable(return_node))
+    assert stmt_node(cfg, "res.inner") in seen
+    assert stmt_node(cfg, "res.outer") in seen
+    assert cfg.exit in seen
+
+
+def test_cfg_unused_finally_grows_no_phantom_exits():
+    # Nothing in the try can escape, so the finally body's only
+    # continuation is plain fall-through.
+    cfg = make_cfg(
+        """
+        def f(res):
+            try:
+                res.step()
+            finally:
+                res.cleanup()
+        """
+    )
+    cleanup = stmt_node(cfg, "res.cleanup")
+    assert cleanup.succ == [cfg.exit]
+    assert all(node.kind != RAISE_EXIT for node in cleanup.succ)
+
+
+# ----------------------------------------------------------------------
+# SIM101 — stale read across yield
+# ----------------------------------------------------------------------
+SIM101_PREAMBLE = """
+class Mover:
+    def rehome(self, node_id):
+        self.owner = node_id
+
+"""
+
+
+def test_sim101_fires_on_capture_yield_use():
+    assert codes(
+        SIM101_PREAMBLE
+        + """
+    def migrate(self, sim, shard):
+        owner = self.owner
+        yield sim.timeout(1)
+        self.transfer(owner, shard)
+"""
+    ) == ["SIM101"]
+
+
+def test_sim101_message_names_variable_and_source():
+    (violation,) = lint(
+        SIM101_PREAMBLE
+        + """
+    def migrate(self, sim, shard):
+        owner = self.owner
+        yield sim.timeout(1)
+        self.transfer(owner, shard)
+"""
+    )
+    assert "'owner'" in violation.message
+    assert "self.owner" in violation.message
+
+
+def test_sim101_silent_without_yield_between():
+    assert (
+        codes(
+            SIM101_PREAMBLE
+            + """
+    def migrate(self, sim, shard):
+        owner = self.owner
+        self.transfer(owner, shard)
+        yield sim.timeout(1)
+"""
+        )
+        == []
+    )
+
+
+def test_sim101_revalidation_kills_the_path():
+    assert (
+        codes(
+            SIM101_PREAMBLE
+            + """
+    def migrate(self, sim, shard):
+        owner = self.owner
+        yield sim.timeout(1)
+        if owner != self.owner:
+            return
+        self.transfer(owner, shard)
+"""
+        )
+        == []
+    )
+
+
+def test_sim101_rebind_after_yield_is_a_fresh_read():
+    assert (
+        codes(
+            SIM101_PREAMBLE
+            + """
+    def run(self, sim):
+        budget = self.owner
+        while self.running:
+            yield sim.timeout(1)
+            budget = self.owner
+            self.ship(budget)
+"""
+        )
+        == []
+    )
+
+
+def test_sim101_loop_carried_use_fires():
+    assert codes(
+        SIM101_PREAMBLE
+        + """
+    def run(self, sim):
+        budget = self.owner
+        while self.running:
+            yield sim.timeout(1)
+            self.ship(budget)
+"""
+    ) == ["SIM101"]
+
+
+def test_sim101_return_use_is_exempt():
+    assert (
+        codes(
+            SIM101_PREAMBLE
+            + """
+    def migrate(self, sim):
+        owner = self.owner
+        yield sim.timeout(1)
+        return owner
+"""
+        )
+        == []
+    )
+
+
+def test_sim101_restore_idiom_is_exempt():
+    assert (
+        codes(
+            SIM101_PREAMBLE
+            + """
+    def suspend(self, sim):
+        owner = self.owner
+        yield sim.timeout(1)
+        self.owner = owner
+"""
+        )
+        == []
+    )
+
+
+def test_sim101_use_at_the_yielding_statement_is_pre_suspension():
+    # ``yield from helper(entry)`` evaluates its arguments before
+    # suspending — that use is not stale.
+    assert (
+        codes(
+            SIM101_PREAMBLE
+            + """
+    def pump(self):
+        entry = self.owner
+        yield from self.apply(entry)
+"""
+        )
+        == []
+    )
+
+
+def test_sim101_augassign_only_attrs_are_counters():
+    assert (
+        codes(
+            """
+class Alloc:
+    def bump(self):
+        self.seq += 1
+
+    def take(self, sim):
+        seq = self.seq
+        yield sim.timeout(1)
+        self.grant(seq)
+"""
+        )
+        == []
+    )
+
+
+def test_sim101_single_writer_cursor_is_stable():
+    # The only plain writer of ``cursor`` is the reading function itself:
+    # a pump cursor no concurrent process moves.
+    assert (
+        codes(
+            """
+class Pump:
+    def run(self, sim):
+        cursor = self.cursor
+        yield sim.timeout(1)
+        self.ship(cursor)
+        self.cursor = cursor + 1
+"""
+        )
+        == []
+    )
+
+
+def test_sim101_stable_attrs_config_escape_hatch():
+    config = default_config()
+    config.simrace_stable_attrs = frozenset({"owner"})
+    assert (
+        codes(
+            SIM101_PREAMBLE
+            + """
+    def migrate(self, sim, shard):
+        owner = self.owner
+        yield sim.timeout(1)
+        self.transfer(owner, shard)
+""",
+            config=config,
+        )
+        == []
+    )
+
+
+# ----------------------------------------------------------------------
+# SIM102 — leaked acquire
+# ----------------------------------------------------------------------
+def test_sim102_interrupt_path_leak_fires():
+    (violation,) = lint(
+        """
+class Replayer:
+    def replay(self, sim, batch):
+        slot = self._slots.acquire()
+        yield slot
+        yield from self.apply(batch)
+        self._slots.release()
+"""
+    )
+    assert violation.rule == "SIM102"
+    assert "Interrupt/exception path" in violation.message
+    assert "normal path" not in violation.message
+
+
+def test_sim102_early_return_leak_fires():
+    (violation,) = lint(
+        """
+class Replayer:
+    def replay(self, sim, batch):
+        slot = self._slots.acquire()
+        yield slot
+        if not batch:
+            return
+        self._slots.release()
+"""
+    )
+    assert violation.rule == "SIM102"
+    assert "normal path" in violation.message
+
+
+def test_sim102_finally_with_holding_flag_is_clean():
+    assert (
+        codes(
+            """
+class Replayer:
+    def replay(self, sim, batch):
+        slot = None
+        holding = False
+        try:
+            slot = self._slots.acquire()
+            yield slot
+            holding = True
+            yield from self.apply(batch)
+        finally:
+            if holding:
+                self._slots.release()
+            else:
+                self._slots.cancel_acquire(slot)
+"""
+        )
+        == []
+    )
+
+
+def test_sim102_except_without_finally_still_leaks():
+    # Type-blind over-approximation: an exception the handler does not
+    # match unwinds straight past the cleanup. Use a finally.
+    assert "SIM102" in codes(
+        """
+class Replayer:
+    def replay(self, sim, batch):
+        slot = self._slots.acquire()
+        try:
+            yield slot
+        except Interrupt:
+            self._slots.cancel_acquire(slot)
+            raise
+        self._slots.release()
+"""
+    )
+
+
+def test_sim102_helper_release_is_seen_interprocedurally():
+    assert (
+        codes(
+            """
+class Replayer:
+    def replay(self, sim, batch):
+        slot = self._slots.acquire()
+        try:
+            yield slot
+            yield from self.apply(batch)
+        finally:
+            self._drop(slot)
+
+    def _drop(self, slot):
+        if slot.triggered:
+            self._slots.release()
+        else:
+            self._slots.cancel_acquire(slot)
+"""
+        )
+        == []
+    )
+
+
+def test_sim102_returned_handle_escapes_tracking():
+    assert (
+        codes(
+            """
+class Replayer:
+    def begin(self):
+        slot = self._slots.acquire()
+        return slot
+"""
+        )
+        == []
+    )
+
+
+def test_sim102_handle_stored_in_container_escapes_tracking():
+    assert (
+        codes(
+            """
+class Replayer:
+    def enqueue(self, sim):
+        slot = self._slots.acquire()
+        self.pending.append(slot)
+        yield sim.timeout(1)
+"""
+        )
+        == []
+    )
+
+
+# ----------------------------------------------------------------------
+# SIM103 — unfenced epoch / stale route
+# ----------------------------------------------------------------------
+def test_sim103_unfenced_epoch_fires():
+    (violation,) = lint(
+        """
+class Preparer:
+    def prepare(self, dest, payload):
+        epoch = self.epoch
+        self.note(epoch)
+        yield from self.replicate(payload)
+        yield self.cluster.rpc_send(dest, self.node_id, payload)
+"""
+    )
+    assert violation.rule == "SIM103"
+    assert "does not carry the epoch fence" in violation.message
+
+
+def test_sim103_carried_epoch_is_clean():
+    assert (
+        codes(
+            """
+class Preparer:
+    def prepare(self, dest, payload):
+        epoch = self.epoch
+        yield from self.replicate(payload)
+        yield self.cluster.rpc_send(dest, self.node_id, payload, epoch=epoch)
+"""
+        )
+        == []
+    )
+
+
+def test_sim103_epoch_reread_kills_the_path():
+    assert (
+        codes(
+            """
+class Preparer:
+    def prepare(self, dest, payload):
+        epoch = self.epoch
+        yield from self.replicate(payload)
+        if epoch != self.epoch:
+            return
+        yield self.cluster.rpc_send(dest, self.node_id, payload)
+"""
+        )
+        == []
+    )
+
+
+def test_sim103_stale_route_fires():
+    (violation,) = lint(
+        """
+class Forwarder:
+    def forward(self, payload):
+        leader = self.leader_node_id
+        yield from self.flush()
+        yield self.cluster.rpc_send(leader, self.node_id, payload)
+"""
+    )
+    assert violation.rule == "SIM103"
+    assert "may be stale" in violation.message
+
+
+def test_sim103_route_resolved_after_yield_is_clean():
+    assert (
+        codes(
+            """
+class Forwarder:
+    def forward(self, payload):
+        yield from self.flush()
+        leader = self.leader_node_id
+        yield self.cluster.rpc_send(leader, self.node_id, payload)
+"""
+        )
+        == []
+    )
+
+
+# ----------------------------------------------------------------------
+# SIM104 — unguarded event settle
+# ----------------------------------------------------------------------
+def test_sim104_two_unguarded_settlers_both_fire():
+    violations = lint(
+        """
+class Rendezvous:
+    def __init__(self, sim):
+        self.done = sim.event()
+
+    def complete(self, value):
+        self.done.succeed(value)
+
+    def abort(self, error):
+        self.done.fail(error)
+"""
+    )
+    assert [violation.rule for violation in violations] == ["SIM104", "SIM104"]
+    assert "triggered twice" in violations[0].message
+
+
+def test_sim104_triggered_guard_and_ownership_transfer_are_clean():
+    assert (
+        codes(
+            """
+class Rendezvous:
+    def __init__(self, sim):
+        self.done = sim.event()
+
+    def complete(self, value):
+        if not self.done.triggered:
+            self.done.succeed(value)
+
+    def abort(self, error):
+        armed, self.done = self.done, None
+        if armed is not None:
+            armed.fail(error)
+"""
+        )
+        == []
+    )
+
+
+def test_sim104_single_settler_is_clean():
+    assert (
+        codes(
+            """
+class Rendezvous:
+    def __init__(self, sim):
+        self.done = sim.event()
+
+    def complete(self, value):
+        self.done.succeed(value)
+"""
+        )
+        == []
+    )
+
+
+def test_sim104_guard_inside_loop_body_is_found():
+    assert (
+        codes(
+            """
+class Rendezvous:
+    def __init__(self, sim):
+        self.done = sim.event()
+
+    def complete(self, waiters):
+        for _ in waiters:
+            if not self.done.triggered:
+                self.done.succeed(None)
+
+    def abort(self, error):
+        if not self.done.triggered:
+            self.done.fail(error)
+"""
+        )
+        == []
+    )
+
+
+# ----------------------------------------------------------------------
+# Engine integration: scoping and suppression
+# ----------------------------------------------------------------------
+SIM101_BAD = (
+    SIM101_PREAMBLE
+    + """
+    def migrate(self, sim, shard):
+        owner = self.owner
+        yield sim.timeout(1)
+        self.transfer(owner, shard)
+"""
+)
+
+
+def test_simrace_rules_scoped_to_protocol_paths():
+    assert codes(SIM101_BAD, path="src/repro/migration/fixture.py") == ["SIM101"]
+    assert codes(SIM101_BAD, path="src/repro/sim/kernel.py") == []
+    assert codes(SIM101_BAD, path="src/repro/analysis/fixture.py") == []
+
+
+def test_simrace_suppression_comment():
+    suppressed = SIM101_BAD.replace(
+        "self.transfer(owner, shard)",
+        "self.transfer(owner, shard)  # simlint: ignore[SIM101]",
+    )
+    assert codes(suppressed) == []
+
+
+# ----------------------------------------------------------------------
+# CLI: --format github and --stats
+# ----------------------------------------------------------------------
+def run_cli(*argv):
+    return cli_main(list(argv))
+
+
+def test_cli_github_format(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\n")
+    assert run_cli("lint", "--format", "github", str(bad)) == 1
+    out = capsys.readouterr().out
+    assert "::error file=" in out
+    assert "title=simlint SIM002" in out
+    assert "\n\n" not in out.strip()  # one annotation line per finding
+
+
+def test_cli_stats_text(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\nimport random as r\n")
+    assert run_cli("lint", "--stats", str(bad)) == 1
+    out = capsys.readouterr().out
+    assert "SIM002     2" in out
+    assert "SIM101     0" in out  # zero-filled over the whole catalogue
+
+
+def test_cli_stats_json(tmp_path, capsys):
+    import json
+
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\n")
+    assert run_cli("lint", "--format", "json", "--stats", str(bad)) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["stats"]["SIM002"] == 1
+    assert document["stats"]["SIM104"] == 0  # zero-filled over the catalogue

@@ -1,0 +1,59 @@
+"""Fixture corpus for the simrace rules (SIM101–SIM104).
+
+Every ``bad_simNNN_*.py`` fixture must be flagged with exactly the rule its
+filename encodes when linted at a protocol path; every ``good_*.py``
+fixture must come out clean. Zero false negatives and zero false positives
+on this corpus is the contract the CI job enforces — a heuristic change
+that starts missing a bad fixture or flagging a good one fails here, not
+in a noisy run over the live tree.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_source, default_config
+
+CORPUS = Path(__file__).parent / "fixtures" / "simrace"
+BAD = sorted(CORPUS.glob("bad_*.py"))
+GOOD = sorted(CORPUS.glob("good_*.py"))
+
+
+def lint_fixture(path):
+    source = path.read_text(encoding="utf-8")
+    # Lint under a protocol path so the SIM10x include scopes apply.
+    return analyze_source(
+        source, path="src/repro/txn/{}".format(path.name), config=default_config()
+    )
+
+
+def expected_code(path):
+    match = re.match(r"(?:bad|good)_(sim\d+)_", path.name)
+    assert match is not None, "unparseable fixture name: {}".format(path.name)
+    return match.group(1).upper()
+
+
+def test_corpus_is_present():
+    assert len(BAD) >= 7, "bad corpus shrank: {}".format([p.name for p in BAD])
+    assert len(GOOD) >= 5, "good corpus shrank: {}".format([p.name for p in GOOD])
+    covered = {expected_code(p) for p in BAD}
+    assert covered == {"SIM101", "SIM102", "SIM103", "SIM104"}
+
+
+@pytest.mark.parametrize("path", BAD, ids=lambda p: p.name)
+def test_bad_fixture_is_flagged(path):
+    code = expected_code(path)
+    violations = lint_fixture(path)
+    codes = {v.rule for v in violations}
+    assert code in codes, "false negative: {} not flagged in {} (got {})".format(
+        code, path.name, violations
+    )
+    extra = codes - {code}
+    assert not extra, "fixture {} trips unrelated rules: {}".format(path.name, extra)
+
+
+@pytest.mark.parametrize("path", GOOD, ids=lambda p: p.name)
+def test_good_fixture_is_clean(path):
+    violations = lint_fixture(path)
+    assert violations == [], "false positives in {}: {}".format(path.name, violations)
