@@ -22,6 +22,7 @@ import sys
 
 from repro.bench.kernel_bench import check_against_baseline, run_kernel_bench
 from repro.bench.migration_bench import run_migration_bench
+from repro.bench.network_bench import run_network_bench, run_pump_share_sweep
 from repro.bench.sweep import SMOKE_OVERRIDES, default_cells, run_sweep
 from repro.bench.txn_bench import run_txn_bench
 from repro.experiments import registry
@@ -70,6 +71,19 @@ def add_bench_arguments(parser):
         default=None,
         help="committed BENCH_migration.json to gate migration storms against"
         " (implies --migration)",
+    )
+    parser.add_argument(
+        "--network",
+        action="store_true",
+        help="also run the contended-network storms and the cross_az "
+        "pump-share sweep (BENCH_network.json)",
+    )
+    parser.add_argument(
+        "--baseline-network",
+        default=None,
+        help="committed BENCH_network.json to gate network storms against"
+        " (implies --network; also fails if the pump-share dip sweep is "
+        "no longer monotonic)",
     )
     parser.add_argument(
         "--max-regression",
@@ -128,13 +142,38 @@ def run_bench_command(args):
             )
         print("wrote {}".format(migration_path))
 
+    network = None
+    if args.network or args.baseline_network:
+        network = run_network_bench(smoke=args.smoke, repeats=args.repeats)
+        network["pump_share_sweep"] = run_pump_share_sweep(smoke=args.smoke)
+        network_path = os.path.join(args.out_dir, "BENCH_network.json")
+        _write_json(network_path, network)
+        for name, storm in sorted(network["storms"].items()):
+            print(
+                "network {:<24} {:,.0f} events/s".format(
+                    name, storm["events_per_sec"]
+                )
+            )
+        sweep = network["pump_share_sweep"]
+        for row in sweep["shares"]:
+            print(
+                "network pump_share={:<5} fg_dip {:8.1f} txns/s  copy {:6.2f}s".format(
+                    row["pump_share"], row["fg_dip"], row["copy_duration"]
+                )
+            )
+        print(
+            "network dip monotonic in pump_share: {}".format(sweep["monotonic"])
+        )
+        print("wrote {}".format(network_path))
+
     status = 0
-    # The kernel, txn and migration payloads share one shape
+    # The kernel, txn, migration and network payloads share one shape
     # (storms -> events_per_sec), so a single gate function covers all.
     for payload, baseline_path in (
         (kernel, args.baseline),
         (txn, args.baseline_txn),
         (migration, args.baseline_migration),
+        (network, args.baseline_network),
     ):
         if not baseline_path:
             continue
@@ -145,6 +184,15 @@ def run_bench_command(args):
             print("REGRESSION {}".format(failure), file=sys.stderr)
         if failures:
             status = 1
+    if network is not None and not network["pump_share_sweep"]["monotonic"]:
+        print(
+            "REGRESSION cross_az foreground dip is no longer monotonic in "
+            "pump_share: {}".format(
+                [row["fg_dip"] for row in network["pump_share_sweep"]["shares"]]
+            ),
+            file=sys.stderr,
+        )
+        status = 1
 
     if not args.skip_experiments:
         cells = default_cells(smoke=args.smoke)

@@ -27,8 +27,9 @@ import time
 
 from repro.bench._legacy_kernel import LegacySimulator
 from repro.sim.kernel import Simulator
-from repro.sim.network import Network
+from repro.sim.network import Network, NetworkConfig
 from repro.sim.rpc import reliable_roundtrip, reliable_send
+from repro.sim.topology import LinkProfile, Topology
 
 #: (chains, depth) per mode; events ~ chains * (depth + burst work).
 _CALLBACK_SCALE = {"smoke": (300, 60), "full": (1500, 150)}
@@ -96,7 +97,10 @@ def _process_storm(sim, pairs: int, rounds: int) -> int:
 
 def _rpc_storm(sim, senders: int, hops: int) -> int:
     """Fault-free reliable RPC chains across a two-node network."""
-    network = Network(sim)
+    config = NetworkConfig()
+    network = Network.from_topology(
+        sim, Topology.single(LinkProfile(config.base_latency, config.bandwidth))
+    )
     executed = [0]
 
     def sender(index: int):

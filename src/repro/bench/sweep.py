@@ -46,6 +46,10 @@ SMOKE_OVERRIDES = {
         shard_tuples=800, hot_tuples=40, num_clients=8, warmup=1.0,
         run_after=1.0, max_sim_time=30.0,
     ),
+    "cross_az": dict(
+        num_tuples=2000, num_shards=16, ycsb_clients=6, warmup=1.5,
+        settle=1.0, max_sim_time=60.0,
+    ),
 }
 
 #: Headline metrics aggregated per cell (taken from the result payload).

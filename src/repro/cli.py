@@ -185,6 +185,23 @@ def main(argv=None):
         "see `repro list` for the per-scenario line-up)",
     )
     exp.add_argument("--seed", type=int, default=0)
+    from repro.sim.topology import PRESETS
+
+    exp.add_argument(
+        "--topology",
+        default=None,
+        choices=PRESETS,
+        help="network topology preset; multi_az/geo switch the network to "
+        "contended fair-share trunks (default: the scenario's flat network)",
+    )
+    exp.add_argument(
+        "--pump-share",
+        type=float,
+        default=None,
+        metavar="SHARE",
+        help="cap migration traffic at this fraction of any contended trunk "
+        "(0 < SHARE <= 1; trades copy speed against foreground impact)",
+    )
     exp.add_argument(
         "--json",
         action="store_true",
@@ -296,8 +313,23 @@ def main(argv=None):
         print("approaches: " + ", ".join(sorted(APPROACHES)))
         return 0
     if args.command == "experiment":
+        overrides = {}
+        if args.topology is not None:
+            overrides["topology"] = args.topology
+        if args.pump_share is not None:
+            if not 0.0 < args.pump_share <= 1.0:
+                print(
+                    "error: --pump-share must be in (0, 1], got {}".format(
+                        args.pump_share
+                    ),
+                    file=sys.stderr,
+                )
+                return 2
+            overrides["pump_share"] = args.pump_share
         try:
-            result = registry.run(args.scenario, approach=args.approach, seed=args.seed)
+            result = registry.run(
+                args.scenario, approach=args.approach, seed=args.seed, **overrides
+            )
         except ValueError as exc:
             print("error: {}".format(exc), file=sys.stderr)
             return 2

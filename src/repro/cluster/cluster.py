@@ -16,8 +16,9 @@ from repro.config import ClusterConfig
 from repro.metrics.collector import MetricsCollector
 from repro.sim.events import AllOf
 from repro.sim.kernel import Simulator
-from repro.sim.network import Network
+from repro.sim.network import MIGRATION_CLASS, Network
 from repro.sim.rpc import RetryPolicy, RpcStats, RpcTimeout, reliable_send
+from repro.sim.topology import LinkProfile, Topology
 from repro.txn.errors import RpcAbort, TransactionError
 from repro.txn.timestamps import DtsOracle, GtsOracle
 
@@ -30,7 +31,17 @@ class Cluster:
     def __init__(self, config=None, sim=None):
         self.config = config or ClusterConfig()
         self.sim = sim or Simulator(seed=self.config.seed)
-        self.network = Network(self.sim, self.config.network)
+        topology = self.config.topology
+        if topology is None:
+            # Degenerate one-rack topology from the flat network numbers:
+            # the uncontended constant-delay model, byte-identical to the
+            # pre-topology network.
+            net = self.config.network
+            topology = Topology.single(LinkProfile(net.base_latency, net.bandwidth))
+        self.network = Network.from_topology(
+            self.sim, topology, config=self.config.network
+        )
+        self.network.set_class_cap(MIGRATION_CLASS, self.config.pump_share)
         if self.config.timestamp_scheme == "gts":
             self.oracle = GtsOracle(self.sim, self.network, CONTROL_PLANE)
         elif self.config.timestamp_scheme == "dts":
@@ -68,18 +79,23 @@ class Cluster:
             persistent=True,
         )
 
-    def rpc_send(self, src, dst, size=0, persistent=False):
+    def rpc_send(self, src, dst, size=0, persistent=False, traffic_class=None):
         """Generator: one cross-node protocol hop with timeout + retry.
 
         Bounded hops raise :class:`~repro.txn.errors.RpcAbort` (a
         ``TransactionError``, so ordinary abort/retry handling applies) once
         the retry budget is exhausted; ``persistent`` hops — 2PC decision
         delivery — retransmit with capped backoff until the link heals.
+        ``traffic_class`` tags the send for contended-link fair-share
+        accounting (migration bulk traffic passes
+        :data:`~repro.sim.network.MIGRATION_CLASS` so ``pump_share`` caps
+        it).
         """
         policy = self.rpc_commit_policy if persistent else self.rpc_policy
         try:
             yield from reliable_send(
-                self.network, src, dst, size, policy=policy, stats=self.rpc_stats
+                self.network, src, dst, size, policy=policy,
+                stats=self.rpc_stats, traffic_class=traffic_class,
             )
         except RpcTimeout as exc:
             raise RpcAbort(str(exc)) from exc

@@ -10,6 +10,7 @@ determine every qualitative result in the evaluation — are preserved.
 from dataclasses import dataclass, field
 
 from repro.sim.network import NetworkConfig
+from repro.sim.topology import LinkProfile, Topology
 
 # ----------------------------------------------------------------------
 # Lint scoping (simlint / simrace)
@@ -78,6 +79,38 @@ class CostModel:
 
 
 @dataclass
+class TierProfiles:
+    """Per-tier link profiles for topology-aware networks.
+
+    Defaults are loosely calibrated to a public-cloud deployment: a
+    non-blocking 10 Gbps rack switch, a 5 Gbps rack uplink, a ~1 ms / 2 Gbps
+    inter-AZ trunk and a ~30 ms / 500 Mbps cross-region path. Like the
+    :class:`CostModel`, the absolute numbers are simulator-scale — what the
+    scenarios depend on is the *ordering* (each wider tier is slower and
+    narrower) and the fact that the trunk, not the endpoint, is the scarce
+    resource.
+    """
+
+    rack_latency: float = 0.0002
+    rack_bandwidth: float = 1.25e9  # 10 Gbps intra-rack
+    az_latency: float = 0.0005
+    az_bandwidth: float = 6.25e8  # 5 Gbps rack uplink (cross-rack, same AZ)
+    region_latency: float = 0.001
+    region_bandwidth: float = 2.5e8  # 2 Gbps inter-AZ trunk (same region)
+    geo_latency: float = 0.03
+    geo_bandwidth: float = 6.25e7  # 500 Mbps cross-region
+
+    def as_profiles(self) -> dict:
+        """Tier name -> :class:`LinkProfile`, as the Topology API expects."""
+        return {
+            "rack": LinkProfile(self.rack_latency, self.rack_bandwidth),
+            "az": LinkProfile(self.az_latency, self.az_bandwidth),
+            "region": LinkProfile(self.region_latency, self.region_bandwidth),
+            "geo": LinkProfile(self.geo_latency, self.geo_bandwidth),
+        }
+
+
+@dataclass
 class ClusterConfig:
     """Topology and engine configuration for a simulated cluster."""
 
@@ -88,6 +121,22 @@ class ClusterConfig:
     replay_parallelism: int = 18  # §4.1: parallel apply threads
     costs: CostModel = field(default_factory=CostModel)
     network: NetworkConfig = field(default_factory=NetworkConfig)
+    # Network topology. ``None`` is the degenerate case: one rack priced by
+    # the flat ``network`` numbers above — the uncontended constant-delay
+    # model, byte-identical to the pre-topology network. A multi-tier
+    # :class:`~repro.sim.topology.Topology` (e.g. from ``make_topology``
+    # with the ``tiers`` profiles) switches the network to contended
+    # fair-share trunks.
+    topology: Topology | None = None
+    tiers: TierProfiles = field(default_factory=TierProfiles)
+    # Migration's share of any contended trunk (the "throttled pump" knob):
+    # the copy/propagation traffic class is capped at this fraction of link
+    # bandwidth when foreground transfers compete. 1.0 = plain fair share.
+    pump_share: float = 1.0
+    # Background backup traffic (the backup-interference scenario): bytes/s
+    # streamed by one backup client and the chunk size it sends in.
+    backup_rate: float = 5e7
+    backup_chunk_bytes: int = 262144
     vacuum_interval: float = 1.0  # seconds between vacuum passes
     cpu_bin_width: float = 1.0  # CPU usage accounting bin (Figure 10)
     # Fault tolerance (§3.7: each node can have synchronized replicas; a

@@ -3,8 +3,10 @@
 from dataclasses import dataclass, field, fields
 
 from repro.cluster import Cluster
-from repro.config import ClusterConfig
+from repro.config import ClusterConfig, TierProfiles
 from repro.migration import Migration
+from repro.sim.network import MIGRATION_CLASS
+from repro.sim.topology import Topology, make_topology
 from repro.workloads.ycsb import YcsbConfig, YcsbWorkload
 
 # The order the paper's figures present the approaches in.
@@ -85,18 +87,45 @@ class ExperimentResult:
         return cls(**kwargs)
 
 
-def build_cluster(num_nodes, approach, seed=0, **config_kwargs):
+def build_cluster(
+    num_nodes, approach, seed=0, topology=None, pump_share=None, **config_kwargs
+):
     """A cluster configured for ``approach`` (Squall needs shard locks).
+
+    ``topology`` is either a ready :class:`~repro.sim.topology.Topology` or
+    a preset name (``single`` / ``multi_az`` / ``geo``) instantiated over
+    the cluster's node ids with the config's tier profiles; ``None`` keeps
+    the flat single-rack network. ``pump_share`` caps the migration traffic
+    class at that fraction of any contended trunk (``None``/1.0 = plain
+    fair share).
 
     Vacuum daemons run as they would in PostgreSQL — without them version
     chains grow without bound and every read slows down over time.
     """
+    tiers = config_kwargs.get("tiers") or TierProfiles()
+    if topology is not None and not isinstance(topology, Topology):
+        node_ids = ["node-{}".format(i + 1) for i in range(num_nodes)]
+        topology = make_topology(topology, node_ids, tiers.as_profiles())
+    if topology is not None:
+        config_kwargs["topology"] = topology
+    if pump_share is not None:
+        config_kwargs["pump_share"] = pump_share
     config = ClusterConfig(num_nodes=num_nodes, seed=seed, **config_kwargs)
     cluster = Cluster(config)
     if approach == "squall":
         cluster.cc_mode = "shard_lock"
     cluster.start_vacuum_daemons()
     return cluster
+
+
+def note_topology(result, cluster):
+    """Record the run's network shape in ``result.extra`` (round-trips
+    through ``to_dict``/``from_dict`` with the rest of the payload)."""
+    topology = cluster.network.topology
+    result.extra["topology"] = topology.name
+    result.extra["topology_contended"] = topology.contended
+    result.extra["pump_share"] = cluster.network.class_cap(MIGRATION_CLASS)
+    return result
 
 
 def build_ycsb(cluster, **ycsb_kwargs):

@@ -18,6 +18,7 @@ from repro.experiments.common import (
     build_cluster,
     build_ycsb,
     check_no_crashes,
+    note_topology,
     run_until_finished,
     summarize,
 )
@@ -54,6 +55,8 @@ class ConsolidationConfig:
     max_sim_time: float = 150.0
     analytical_row_cost: float = 8e-4  # hybrid B: per-row aggregation work
     squall_chunk_bytes: int = 32768  # 8 MB scaled with the data volume
+    topology: str = None  # network preset (single|multi_az|geo); None = flat
+    pump_share: float = None  # migration's contended-trunk share cap
     seed: int = 0
 
     def make_costs(self):
@@ -72,7 +75,8 @@ def _hybrid_a(approach, config=None):
     """Hybrid workload A: uniform YCSB + batch ingestion (Table 2, Fig. 6)."""
     config = config or ConsolidationConfig()
     cluster = build_cluster(
-        config.num_nodes, approach, seed=config.seed, costs=config.make_costs()
+        config.num_nodes, approach, seed=config.seed, costs=config.make_costs(),
+        topology=config.topology, pump_share=config.pump_share,
     )
     workload = build_ycsb(
         cluster,
@@ -142,6 +146,8 @@ def _hybrid_a(approach, config=None):
         len(cluster.dump_table("ycsb"))
         == config.num_tuples + batch.tuples_ingested
     )
+    if config.topology is not None:
+        note_topology(result, cluster)
     return result
 
 
@@ -156,7 +162,8 @@ def _hybrid_b(approach, config=None):
     """Hybrid workload B: uniform YCSB + analytical duplicate check (Fig. 7)."""
     config = config or ConsolidationConfig(group_size=4)
     cluster = build_cluster(
-        config.num_nodes, approach, seed=config.seed, costs=config.make_costs()
+        config.num_nodes, approach, seed=config.seed, costs=config.make_costs(),
+        topology=config.topology, pump_share=config.pump_share,
     )
     workload = build_ycsb(
         cluster,
@@ -214,4 +221,6 @@ def _hybrid_b(approach, config=None):
     result.extra["analytical_committed"] = analytical.committed
     result.extra["analytical_aborted"] = analytical.aborted
     result.extra["data_intact"] = len(cluster.dump_table("ycsb")) == config.num_tuples
+    if config.topology is not None:
+        note_topology(result, cluster)
     return result

@@ -20,6 +20,7 @@ from repro.experiments.common import (
     ExperimentResult,
     build_cluster,
     check_no_crashes,
+    note_topology,
     run_until_finished,
 )
 from repro.migration import Migration
@@ -42,6 +43,8 @@ class HighContentionConfig:
     warmup: float = 2.0  # steady state before migration
     run_after: float = 3.0  # observation after migration completes
     max_sim_time: float = 60.0
+    topology: str = None  # network preset (single|multi_az|geo); None = flat
+    pump_share: float = None  # migration's contended-trunk share cap
     seed: int = 0
 
     def make_costs(self):
@@ -69,6 +72,8 @@ def _high_contention(approach="remus", config=None):
         costs=config.make_costs(),
         vacuum_interval=config.vacuum_interval,
         cpu_bin_width=0.5,
+        topology=config.topology,
+        pump_share=config.pump_share,
     )
     # One single-shard table: the hot shard to be migrated.
     cluster.create_table("hot", num_shards=1, tuple_size=config.tuple_size)
@@ -153,4 +158,6 @@ def _high_contention(approach="remus", config=None):
     result.extra["ww_aborts_total"] = metrics.abort_count(kind="ww_conflict")
     result.extra["copy_window"] = (copy_start, copy_end)
     result.extra["data_intact"] = len(cluster.dump_table("hot")) == config.shard_tuples
+    if config.topology is not None:
+        note_topology(result, cluster)
     return result

@@ -17,6 +17,7 @@ from repro.experiments.common import (
     build_cluster,
     build_ycsb,
     check_no_crashes,
+    note_topology,
     run_until_finished,
     summarize,
 )
@@ -40,6 +41,8 @@ class LoadBalancingConfig:
     op_cost: float = 2e-4  # saturates and balancing visibly lifts throughput
     snapshot_cost: float = 4e-4
     squall_chunk_bytes: int = 16384  # 8 MB scaled with the data volume
+    topology: str = None  # network preset (single|multi_az|geo); None = flat
+    pump_share: float = None  # migration's contended-trunk share cap
     warmup: float = 2.0
     settle: float = 3.0
     max_sim_time: float = 120.0
@@ -80,6 +83,8 @@ def _load_balancing(approach, config=None):
         seed=config.seed,
         costs=config.make_costs(),
         cpu_per_node=config.cpu_per_node,
+        topology=config.topology,
+        pump_share=config.pump_share,
     )
     workload = build_ycsb(
         cluster,
@@ -130,4 +135,6 @@ def _load_balancing(approach, config=None):
     result.extra["ww_aborts"] = metrics.abort_count(kind="ww_conflict")
     result.extra["data_intact"] = len(cluster.dump_table("ycsb")) == config.num_tuples
     result.extra["plan_stats"] = plan.stats
+    if config.topology is not None:
+        note_topology(result, cluster)
     return result

@@ -37,6 +37,7 @@ _EXPERIMENT_MODULES = (
     "repro.experiments.load_balancing",
     "repro.experiments.scale_out",
     "repro.experiments.high_contention",
+    "repro.experiments.geo",
 )
 
 _REGISTRY: dict[str, "ExperimentSpec"] = {}

@@ -18,6 +18,7 @@ from repro.experiments.common import (
     ExperimentResult,
     build_cluster,
     check_no_crashes,
+    note_topology,
     run_until_finished,
     summarize,
 )
@@ -45,6 +46,8 @@ class ScaleOutConfig:
     warmup: float = 3.0  # several seconds, as in Figure 9
     settle: float = 3.0
     max_sim_time: float = 90.0
+    topology: str = None  # network preset (single|multi_az|geo); None = flat
+    pump_share: float = None  # migration's contended-trunk share cap
     seed: int = 0
 
     def make_costs(self):
@@ -92,6 +95,8 @@ def _scale_out(approach, config=None):
         seed=config.seed,
         costs=config.make_costs(),
         cpu_per_node=config.cpu_per_node,
+        topology=config.topology,
+        pump_share=config.pump_share,
     )
     workload = TpccWorkload(
         cluster,
@@ -159,4 +164,6 @@ def _scale_out(approach, config=None):
     result.extra["warehouses_moved"] = len(moving)
     result.extra["new_node_shards"] = len(cluster.shards_on_node(new_node))
     result.extra["plan_stats"] = plan.stats
+    if config.topology is not None:
+        note_topology(result, cluster)
     return result

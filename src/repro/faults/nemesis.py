@@ -138,6 +138,19 @@ class Nemesis:
         network.set_extra_latency(fault.node, fault.peer, 0.0)
         self._note("heal:latency:{}|{}".format(fault.node, fault.peer))
 
+    def _inject_degrade(self, fault):
+        """Brown out one topology tier: every matching trunk's bandwidth is
+        scaled by ``fault.value`` (the tier name rides in ``fault.node``),
+        then restored after ``fault.duration``. Healing resets the whole
+        tier rather than stacking, matching :meth:`Network.set_tier_degrade`
+        last-writer-wins semantics."""
+        network = self.cluster.network
+        network.set_tier_degrade(fault.node, bandwidth_factor=fault.value)
+        self._note("fault:degrade:{}:{:.2f}".format(fault.node, fault.value))
+        yield fault.duration
+        network.set_tier_degrade(fault.node)
+        self._note("heal:degrade:{}".format(fault.node))
+
     def _inject_stall(self, fault):
         manager = self.cluster.nodes[fault.node].manager
         until = self.sim.now + fault.duration

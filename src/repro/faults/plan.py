@@ -24,9 +24,15 @@ Spec grammar, one fault per ``;``-separated token::
     crash_follower:<table>:<idx>@<at>+<dur> crash its lowest live follower
     crash_leader:<table>:<idx>:<phase>@<at>+<dur>  ... once a supervised
                                             migration reaches <phase>
+    degrade:<tier>:<factor>@<at>+<duration> scale every <tier> trunk's
+                                            bandwidth by <factor> (a brown-out
+                                            of e.g. the inter-AZ trunk), heal
+                                            after duration
 """
 
 from dataclasses import dataclass, field
+
+from repro.sim.topology import TIERS
 
 KINDS = (
     "crash_node",
@@ -37,6 +43,7 @@ KINDS = (
     "crash_migration",
     "crash_leader",
     "crash_follower",
+    "degrade",
 )
 
 _ALIASES = {"crash": "crash_node", "mcrash": "crash_migration"}
@@ -273,6 +280,18 @@ def _parse_fault(token):
         return Fault(
             kind, at=at, shard=(parts[1], index), duration=duration, phase=phase
         )
+    if kind == "degrade":
+        _expect(parts, 3, token)
+        tier = parts[1]
+        if tier not in TIERS:
+            raise ValueError("unknown tier {!r} in {!r}".format(tier, token))
+        factor = float(parts[2])
+        if factor <= 0.0:
+            raise ValueError(
+                "degrade factor must be positive in {!r}; use partition to "
+                "cut links".format(token)
+            )
+        return Fault(kind, at=at, node=tier, duration=duration, value=factor)
     if kind == "partition":
         _expect(parts, 2, token)
         a, b = _parse_link(parts[1], token)

@@ -29,6 +29,7 @@ from bisect import bisect_left, bisect_right, insort
 from repro import fastpath
 from repro.profiling.counters import COUNTERS
 from repro.sim.errors import Interrupt
+from repro.sim.network import MIGRATION_CLASS
 from repro.sim.ordered import OrderedSet
 from repro.sim.resources import Resource
 from repro.storage.wal import WalRecordKind
@@ -391,7 +392,9 @@ class Propagation:
         if len(records) > self.costs.spill_threshold:
             batches = len(records) // 1000 + 1
             yield batches * self.costs.spill_reload_per_batch
-        yield from self.cluster.rpc_send(self.source, self.dest, total_bytes)
+        yield from self.cluster.rpc_send(
+            self.source, self.dest, total_bytes, traffic_class=MIGRATION_CLASS
+        )
         self.stats.records_propagated += len(records)
 
     def _make_shadow(self, start_ts, label="__shadow__"):

@@ -34,6 +34,7 @@ per-tuple path:
 from repro import fastpath
 from repro.profiling.counters import COUNTERS
 from repro.sim.errors import Interrupt
+from repro.sim.network import MIGRATION_CLASS
 from repro.storage.snapshot import UNDECIDED
 from repro.txn.errors import RpcAbort
 
@@ -134,7 +135,12 @@ def _flush_scan_charges(cpu, scan_cost, pending):
 def _ship_batch(cluster, batch, source, dest_node, shard_id, tuple_size, costs):
     # Bounded reliable send: a lossy or partitioned link must fail the copy
     # (RpcAbort -> supervisor crash recovery), never wedge it forever.
-    yield from cluster.rpc_send(source, dest_node.node_id, len(batch) * tuple_size)
+    yield from cluster.rpc_send(
+        source,
+        dest_node.node_id,
+        len(batch) * tuple_size,
+        traffic_class=MIGRATION_CLASS,
+    )
     yield dest_node.cpu.use(costs.snapshot_scan_per_tuple * len(batch))
     dest_node.bulk_install(shard_id, batch)
     return len(batch)

@@ -23,6 +23,7 @@ from repro import fastpath
 from repro.cluster.hashing import consistent_hash
 from repro.migration.base import BaseMigration
 from repro.sim.events import AllOf
+from repro.sim.network import MIGRATION_CLASS
 from repro.txn.errors import MigrationAbort
 
 DEFAULT_CHUNK_BYTES = 8 << 20  # 8 MB, as suggested in the Squall paper
@@ -205,7 +206,9 @@ class SquallMigration(BaseMigration):
             size = sum(
                 self.cluster.tables[shard_id.table].tuple_size for _ in moved
             )
-            yield from self.cluster.rpc_send(self.source, self.dest, size)
+            yield from self.cluster.rpc_send(
+                self.source, self.dest, size, traffic_class=MIGRATION_CLASS
+            )
             self.dest_node.bulk_install(shard_id, moved)
             for key, _value in moved:
                 for version in list(heap.chain(key)):

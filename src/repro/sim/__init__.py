@@ -21,7 +21,7 @@ exact and runs are fully deterministic for a given seed.
 from repro.sim.errors import Interrupt, SimulationError
 from repro.sim.events import AllOf, AnyOf, Event, Timeout
 from repro.sim.kernel import Simulator
-from repro.sim.network import Network, NetworkConfig
+from repro.sim.network import BACKUP_CLASS, MIGRATION_CLASS, Network, NetworkConfig
 from repro.sim.process import Process
 from repro.sim.resources import CpuResource, Resource
 from repro.sim.rng import RngStream, SeedSequence
@@ -32,15 +32,20 @@ from repro.sim.rpc import (
     reliable_roundtrip,
     reliable_send,
 )
+from repro.sim.topology import LinkProfile, Topology, make_topology
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "BACKUP_CLASS",
     "CpuResource",
     "Event",
     "Interrupt",
+    "LinkProfile",
+    "MIGRATION_CLASS",
     "Network",
     "NetworkConfig",
+    "Topology",
     "Process",
     "Resource",
     "RetryPolicy",
@@ -51,6 +56,7 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "Timeout",
+    "make_topology",
     "reliable_roundtrip",
     "reliable_send",
 ]

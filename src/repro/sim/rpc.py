@@ -86,6 +86,7 @@ def reliable_send(
     size: int = 0,
     policy: RetryPolicy | None = None,
     stats: "RpcStats | None" = None,
+    traffic_class: str | None = None,
 ) -> Generator:
     """Generator: deliver a one-way message with timeout + retry.
 
@@ -93,18 +94,21 @@ def reliable_send(
     :class:`RpcTimeout` once a bounded policy's budget is exhausted. Returns
     the number of transmission attempts (1 in the fault-free case). ``stats``
     (optional) is an object with ``rpc_timeouts``/``rpc_retries`` counters.
+    ``traffic_class`` selects the contended network's fair-share class (the
+    migration data path tags its bulk transfers so ``--pump-share`` can cap
+    them; see :data:`repro.sim.network.MIGRATION_CLASS`).
     """
     policy = policy or DEFAULT_POLICY
     if network.link_is_clean(src, dst):
         # Fault-free fast path: the message is guaranteed to arrive, so wait
         # on the delivery event directly — no AnyOf/Timeout allocations, no
         # dangling timeout entry left in the heap.
-        yield network.send(src, dst, size)
+        yield network.send(src, dst, size, traffic_class)
         return 1
     attempt = 0
     while True:
         attempt += 1
-        arrived = network.send(src, dst, size)
+        arrived = network.send(src, dst, size, traffic_class)
         index, _value = yield AnyOf([arrived, Timeout(policy.timeout)])
         if index == 0:
             return attempt
@@ -125,18 +129,19 @@ def reliable_roundtrip(
     response_size: int = 0,
     policy: RetryPolicy | None = None,
     stats: "RpcStats | None" = None,
+    traffic_class: str | None = None,
 ) -> Generator:
     """Generator: request/response round trip with timeout + retry."""
     policy = policy or DEFAULT_POLICY
     if network.link_is_clean(src, dst):
         # Fault-free fast path (the {src, dst} link state is unordered, so a
         # clean check covers both legs of the round trip).
-        yield network.roundtrip(src, dst, request_size, response_size)
+        yield network.roundtrip(src, dst, request_size, response_size, traffic_class)
         return 1
     attempt = 0
     while True:
         attempt += 1
-        done = network.roundtrip(src, dst, request_size, response_size)
+        done = network.roundtrip(src, dst, request_size, response_size, traffic_class)
         index, _value = yield AnyOf([done, Timeout(2 * policy.timeout)])
         if index == 0:
             return attempt

@@ -150,3 +150,23 @@ def test_migration_microbench_smoke():
         )
     )
     assert check_against_baseline(payload, payload, max_regression=0.30) == []
+
+
+@pytest.mark.bench
+def test_network_microbench_smoke():
+    """The contended storms run deterministically and feed the shared gate.
+
+    No speedup multiplier applies — the contended path is a new subsystem
+    with no legacy twin; the committed BENCH_network.json baseline-gates
+    its events/sec. Determinism is the load-bearing assertion: two runs of
+    a storm must move the identical event count.
+    """
+    from repro.bench.kernel_bench import check_against_baseline
+    from repro.bench.network_bench import run_network_bench
+
+    first = run_network_bench(smoke=True, repeats=1)
+    second = run_network_bench(smoke=True, repeats=1)
+    for name, storm in first["storms"].items():
+        assert storm["events"] == second["storms"][name]["events"]
+        assert storm["events"] > 0
+    assert check_against_baseline(first, first, max_regression=0.30) == []

@@ -46,3 +46,14 @@ def test_chaos_command_with_explicit_plan(capsys):
     assert "crash_migration" in out
     assert "invariant violations: 0" in out
     assert "plan outcome:" in out
+
+
+def test_experiment_rejects_unknown_topology():
+    with pytest.raises(SystemExit):
+        main(["experiment", "cross_az", "--topology", "ring"])
+
+
+def test_experiment_rejects_out_of_range_pump_share(capsys):
+    assert main(["experiment", "cross_az", "--pump-share", "1.5"]) == 2
+    assert "--pump-share" in capsys.readouterr().err
+    assert main(["experiment", "cross_az", "--pump-share", "0"]) == 2

@@ -19,6 +19,7 @@ def test_registry_lists_all_paper_scenarios():
         "load_balancing",
         "scale_out",
         "high_contention",
+        "cross_az",
     )
 
 

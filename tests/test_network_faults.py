@@ -2,13 +2,23 @@
 
 import pytest
 
-from repro.sim import Network, NetworkConfig, RetryPolicy, RpcTimeout, Simulator
+from repro.sim import (
+    LinkProfile,
+    Network,
+    NetworkConfig,
+    RetryPolicy,
+    RpcTimeout,
+    Simulator,
+    Topology,
+)
 from repro.sim.rpc import PERSISTENT_POLICY, reliable_roundtrip, reliable_send
 
 
 def make_network(seed=0, **kwargs):
     sim = Simulator(seed=seed)
-    return sim, Network(sim, NetworkConfig(**kwargs))
+    config = NetworkConfig(**kwargs)
+    topology = Topology.single(LinkProfile(config.base_latency, config.bandwidth))
+    return sim, Network.from_topology(sim, topology, config=config)
 
 
 def wait_for(sim, event, record, key):

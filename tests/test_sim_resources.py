@@ -2,7 +2,23 @@
 
 import pytest
 
-from repro.sim import CpuResource, Network, NetworkConfig, Resource, SimulationError, Simulator
+from repro.sim import (
+    CpuResource,
+    LinkProfile,
+    Network,
+    NetworkConfig,
+    Resource,
+    SimulationError,
+    Simulator,
+    Topology,
+)
+
+
+def flat_network(sim, config=None):
+    """An uncontended single-rack network priced by flat ``config`` numbers."""
+    config = config or NetworkConfig()
+    topology = Topology.single(LinkProfile(config.base_latency, config.bandwidth))
+    return Network.from_topology(sim, topology, config=config)
 
 
 def test_resource_grants_up_to_capacity_then_queues():
@@ -117,20 +133,20 @@ def test_cpu_usage_between_average():
 
 def test_network_local_send_is_free():
     sim = Simulator()
-    net = Network(sim)
+    net = flat_network(sim)
     assert net.delay_for("n1", "n1", size=10**9) == 0.0
 
 
 def test_network_delay_scales_with_size():
     sim = Simulator()
-    net = Network(sim, NetworkConfig(base_latency=0.001, bandwidth=1000.0))
+    net = flat_network(sim, NetworkConfig(base_latency=0.001, bandwidth=1000.0))
     assert net.delay_for("a", "b", size=0) == pytest.approx(0.001)
     assert net.delay_for("a", "b", size=1000) == pytest.approx(1.001)
 
 
 def test_network_send_delivers_after_delay():
     sim = Simulator()
-    net = Network(sim, NetworkConfig(base_latency=0.5, bandwidth=1e9))
+    net = flat_network(sim, NetworkConfig(base_latency=0.5, bandwidth=1e9))
     arrival = []
 
     def sender():
@@ -144,7 +160,7 @@ def test_network_send_delivers_after_delay():
 
 def test_network_roundtrip_is_two_legs():
     sim = Simulator()
-    net = Network(sim, NetworkConfig(base_latency=0.25, bandwidth=1e9))
+    net = flat_network(sim, NetworkConfig(base_latency=0.25, bandwidth=1e9))
     arrival = []
 
     def caller():
@@ -159,7 +175,7 @@ def test_network_roundtrip_is_two_legs():
 
 def test_network_broadcast_waits_for_all():
     sim = Simulator()
-    net = Network(sim, NetworkConfig(base_latency=0.1, bandwidth=1e9))
+    net = flat_network(sim, NetworkConfig(base_latency=0.1, bandwidth=1e9))
     arrival = []
 
     def caller():

@@ -6,6 +6,13 @@ from repro.sim import Simulator
 from repro.txn.locks import RowLockTable, SharedExclusiveLockTable
 from repro.txn.timestamps import DtsOracle, GtsOracle
 from repro.sim.network import Network, NetworkConfig
+from repro.sim.topology import LinkProfile, Topology
+
+
+def flat_network(sim, config=None):
+    config = config or NetworkConfig()
+    topology = Topology.single(LinkProfile(config.base_latency, config.bandwidth))
+    return Network.from_topology(sim, topology, config=config)
 
 
 @pytest.fixture
@@ -189,7 +196,7 @@ def test_dts_skew_shows_in_physical_component(sim):
 
 
 def test_gts_is_globally_monotonic_and_costs_roundtrip(sim):
-    network = Network(sim, NetworkConfig(base_latency=0.1, bandwidth=1e9))
+    network = flat_network(sim, NetworkConfig(base_latency=0.1, bandwidth=1e9))
     oracle = GtsOracle(sim, network, "cp")
     results = []
 
@@ -207,7 +214,7 @@ def test_gts_is_globally_monotonic_and_costs_roundtrip(sim):
 
 
 def test_gts_commit_timestamp_respects_floor(sim):
-    network = Network(sim)
+    network = flat_network(sim)
     oracle = GtsOracle(sim, network, "cp")
 
     def get():
