@@ -4,10 +4,17 @@
 (and, unless skipped, a seed sweep over the experiment cells) and writes
 ``BENCH_kernel.json``, ``BENCH_txn.json`` and ``BENCH_experiments.json``;
 ``--migration`` adds the migration data-path storms
-(``BENCH_migration.json``). With ``--baseline`` / ``--baseline-txn`` /
-``--baseline-migration`` it gates each storm's events/sec against a
-committed baseline file — the CI smoke job fails a PR that regresses a
-hot loop by more than ``--max-regression``.
+(``BENCH_migration.json``) and ``--cluster`` the storm-scale cluster
+benchmark (``BENCH_cluster.json``: 100-node / 1M-client storms driving
+the vectorized workload engine and the partitioned event loop, with a
+migration in flight). With ``--baseline`` / ``--baseline-txn`` /
+``--baseline-migration`` / ``--baseline-cluster`` it gates each storm's
+events/sec against a committed baseline file — the CI smoke job fails a
+PR that regresses a hot loop by more than ``--max-regression``. The
+cluster gate additionally enforces the batch-vs-per-client speedup floor
+(:data:`repro.bench.cluster_bench.MIN_BATCH_SPEEDUP`). Every storm line
+prints the wall-clock repeat percentiles (p50/p95/p99) next to the
+best-of headline.
 
 ``repro sweep`` is the standalone fan-out: seeds x (scenario, approach)
 cells across a worker pool, with ``--verify-serial`` proving byte-identical
@@ -20,6 +27,7 @@ import json
 import os
 import sys
 
+from repro.bench.cluster_bench import MIN_BATCH_SPEEDUP, run_cluster_bench
 from repro.bench.kernel_bench import check_against_baseline, run_kernel_bench
 from repro.bench.migration_bench import run_migration_bench
 from repro.bench.network_bench import run_network_bench, run_pump_share_sweep
@@ -86,6 +94,20 @@ def add_bench_arguments(parser):
         "no longer monotonic)",
     )
     parser.add_argument(
+        "--cluster",
+        action="store_true",
+        help="also run the storm-scale cluster benchmark: vectorized "
+        "workload engine + partitioned event loop with a migration in "
+        "flight (BENCH_cluster.json)",
+    )
+    parser.add_argument(
+        "--baseline-cluster",
+        default=None,
+        help="committed BENCH_cluster.json to gate cluster storms against"
+        " (implies --cluster; also enforces the batch-vs-per-client "
+        "speedup floor)",
+    )
+    parser.add_argument(
         "--max-regression",
         type=float,
         default=0.30,
@@ -98,16 +120,27 @@ def add_bench_arguments(parser):
     )
 
 
+def _wall_columns(storm):
+    """`` wall p50/p95/p99 a/b/c s`` for storms measured with repeats."""
+    wall = storm.get("wall")
+    if not wall:
+        return ""
+    return "  wall p50/p95/p99 {:.3f}/{:.3f}/{:.3f}s".format(
+        wall["p50"], wall["p95"], wall["p99"]
+    )
+
+
 def run_bench_command(args):
     kernel = run_kernel_bench(smoke=args.smoke, repeats=args.repeats)
     kernel_path = os.path.join(args.out_dir, "BENCH_kernel.json")
     _write_json(kernel_path, kernel)
     storm = kernel["storms"]["callback_storm"]
     print(
-        "kernel: {:,.0f} events/s (legacy {:,.0f}) -> {:.2f}x speedup".format(
+        "kernel: {:,.0f} events/s (legacy {:,.0f}) -> {:.2f}x speedup{}".format(
             storm["events_per_sec"],
             storm["legacy"]["events_per_sec"],
             kernel["speedup_vs_legacy"],
+            _wall_columns(storm),
         )
     )
     print("wrote {}".format(kernel_path))
@@ -117,11 +150,12 @@ def run_bench_command(args):
     _write_json(txn_path, txn)
     for name, storm in sorted(txn["storms"].items()):
         print(
-            "txn {:<22} {:,.0f} events/s (legacy {:,.0f}) -> {:.2f}x".format(
+            "txn {:<22} {:,.0f} events/s (legacy {:,.0f}) -> {:.2f}x{}".format(
                 name,
                 storm["events_per_sec"],
                 storm["legacy"]["events_per_sec"],
                 storm["speedup"],
+                _wall_columns(storm),
             )
         )
     print("wrote {}".format(txn_path))
@@ -133,11 +167,12 @@ def run_bench_command(args):
         _write_json(migration_path, migration)
         for name, storm in sorted(migration["storms"].items()):
             print(
-                "migration {:<24} {:,.0f} events/s (legacy {:,.0f}) -> {:.2f}x".format(
+                "migration {:<24} {:,.0f} events/s (legacy {:,.0f}) -> {:.2f}x{}".format(
                     name,
                     storm["events_per_sec"],
                     storm["legacy"]["events_per_sec"],
                     storm["speedup"],
+                    _wall_columns(storm),
                 )
             )
         print("wrote {}".format(migration_path))
@@ -150,8 +185,8 @@ def run_bench_command(args):
         _write_json(network_path, network)
         for name, storm in sorted(network["storms"].items()):
             print(
-                "network {:<24} {:,.0f} events/s".format(
-                    name, storm["events_per_sec"]
+                "network {:<24} {:,.0f} events/s{}".format(
+                    name, storm["events_per_sec"], _wall_columns(storm)
                 )
             )
         sweep = network["pump_share_sweep"]
@@ -166,14 +201,41 @@ def run_bench_command(args):
         )
         print("wrote {}".format(network_path))
 
+    cluster = None
+    if args.cluster or args.baseline_cluster:
+        cluster = run_cluster_bench(smoke=args.smoke, repeats=args.repeats)
+        cluster_path = os.path.join(args.out_dir, "BENCH_cluster.json")
+        _write_json(cluster_path, cluster)
+        for name, storm in sorted(cluster["storms"].items()):
+            print(
+                "cluster {:<18} {:>9,.0f} events/s  ({:,} clients, "
+                "{:,} txns){}".format(
+                    name,
+                    storm["events_per_sec"],
+                    storm["population"],
+                    storm["events"],
+                    _wall_columns(storm),
+                )
+            )
+        print(
+            "cluster batch vs per-client: {:.2f}x (floor {:.1f}x), "
+            "partitioned {:.2f}x".format(
+                cluster["speedup_batch_vs_per_client"],
+                MIN_BATCH_SPEEDUP,
+                cluster["speedup_partitioned_vs_per_client"],
+            )
+        )
+        print("wrote {}".format(cluster_path))
+
     status = 0
-    # The kernel, txn, migration and network payloads share one shape
-    # (storms -> events_per_sec), so a single gate function covers all.
+    # The kernel, txn, migration, network and cluster payloads share one
+    # shape (storms -> events_per_sec), so a single gate function covers all.
     for payload, baseline_path in (
         (kernel, args.baseline),
         (txn, args.baseline_txn),
         (migration, args.baseline_migration),
         (network, args.baseline_network),
+        (cluster, args.baseline_cluster),
     ):
         if not baseline_path:
             continue
@@ -184,6 +246,19 @@ def run_bench_command(args):
             print("REGRESSION {}".format(failure), file=sys.stderr)
         if failures:
             status = 1
+    if (
+        cluster is not None
+        and args.baseline_cluster
+        and cluster["speedup_batch_vs_per_client"] < MIN_BATCH_SPEEDUP
+    ):
+        print(
+            "REGRESSION cluster batch storm is only {:.2f}x the per-client "
+            "reference (floor {:.1f}x)".format(
+                cluster["speedup_batch_vs_per_client"], MIN_BATCH_SPEEDUP
+            ),
+            file=sys.stderr,
+        )
+        status = 1
     if network is not None and not network["pump_share_sweep"]["monotonic"]:
         print(
             "REGRESSION cross_az foreground dip is no longer monotonic in "
@@ -207,9 +282,12 @@ def run_bench_command(args):
         sweep_path = os.path.join(args.out_dir, "BENCH_experiments.json")
         _write_json(sweep_path, sweep)
         for key, cell in sweep["cells"].items():
+            runtime = cell["runtime_sec"]
             print(
-                "  {:<28} mean {:.2f}s over seeds {}".format(
-                    key, cell["runtime_sec"]["mean"], cell["seeds"]
+                "  {:<28} mean {:.2f}s p50/p95/p99 {:.2f}/{:.2f}/{:.2f}s "
+                "over seeds {}".format(
+                    key, runtime["mean"], runtime["p50"], runtime["p95"],
+                    runtime["p99"], cell["seeds"]
                 )
             )
         print("wrote {}".format(sweep_path))
@@ -271,8 +349,10 @@ def run_sweep_command(args):
         verify_serial=args.verify_serial,
     )
     for key, cell in payload["cells"].items():
-        line = "{:<28} mean {:.2f}s  seeds {}".format(
-            key, cell["runtime_sec"]["mean"], cell["seeds"]
+        runtime = cell["runtime_sec"]
+        line = "{:<28} mean {:.2f}s  p50/p95/p99 {:.2f}/{:.2f}/{:.2f}s  seeds {}".format(
+            key, runtime["mean"], runtime["p50"], runtime["p95"],
+            runtime["p99"], cell["seeds"]
         )
         print(line)
     if args.verify_serial:

@@ -26,6 +26,7 @@ import sys
 import time
 
 from repro.bench._legacy_kernel import LegacySimulator
+from repro.bench.stats import wall_stats
 from repro.sim.kernel import Simulator
 from repro.sim.network import Network, NetworkConfig
 from repro.sim.rpc import reliable_roundtrip, reliable_send
@@ -120,20 +121,25 @@ def _rpc_storm(sim, senders: int, hops: int) -> int:
 
 
 def _measure(storm, sim_factory, a: int, b: int, repeats: int = 3) -> dict:
-    """Best-of-``repeats`` wall-clock measurement of one storm."""
-    best = None
+    """Best-of-``repeats`` wall-clock measurement of one storm.
+
+    The headline events/sec uses the best repeat (least scheduler noise);
+    the full repeat distribution rides along under ``"wall"`` as
+    p50/p95/p99 seconds.
+    """
+    samples = []
     events = 0
     for _ in range(repeats):
         sim = sim_factory()
         started = time.perf_counter()
         events = storm(sim, a, b)
-        elapsed = time.perf_counter() - started
-        if best is None or elapsed < best:
-            best = elapsed
+        samples.append(time.perf_counter() - started)
+    best = min(samples)
     return {
         "events": events,
         "seconds": round(best, 6),
         "events_per_sec": round(events / best, 1),
+        "wall": wall_stats(samples),
     }
 
 

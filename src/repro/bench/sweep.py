@@ -6,9 +6,15 @@ is canonicalized (sorted keys, no whitespace) and byte-compared against a
 serial rerun when ``verify_serial`` is on. Simulation results depend only on
 the seed — never on worker scheduling — so the comparison must be exact.
 
-Aggregation reports mean/p5/p95 of the headline metrics per cell, which is
-what the paper-figure benchmarks consume; wall-clock runtimes per seed ride
-along so ``BENCH_experiments.json`` doubles as a performance trajectory.
+Aggregation reports mean/p5/p50/p95/p99 of the headline metrics per cell,
+which is what the paper-figure benchmarks consume; wall-clock runtimes per
+seed ride along so ``BENCH_experiments.json`` doubles as a performance
+trajectory.
+
+When the platform cannot start a :class:`multiprocessing.Pool` (sandboxed
+CI runners, missing ``/dev/shm`` semaphores), ``run_jobs`` falls back to
+in-process serial execution — results are byte-identical either way, so
+the fallback only changes wall-clock, never output.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ import json
 import multiprocessing
 import time
 
+from repro.bench.stats import percentile
 from repro.experiments import registry
 
 #: Tiny-scale overrides per scenario, mirroring tests/test_experiments_smoke.py,
@@ -92,23 +99,18 @@ def _run_cell(job):
     }
 
 
-def _percentile(values, q):
-    """Interpolated percentile (q in [0, 100]) of a non-empty sequence."""
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return ordered[0]
-    position = (len(ordered) - 1) * q / 100.0
-    lower = int(position)
-    upper = min(lower + 1, len(ordered) - 1)
-    fraction = position - lower
-    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+# Kept as a module name for existing callers/tests; one implementation in
+# repro.bench.stats so bench and sweep percentiles can never diverge.
+_percentile = percentile
 
 
 def _aggregate(values):
     return {
         "mean": sum(values) / len(values),
         "p5": _percentile(values, 5),
+        "p50": _percentile(values, 50),
         "p95": _percentile(values, 95),
+        "p99": _percentile(values, 99),
     }
 
 
@@ -131,12 +133,20 @@ def run_jobs(jobs, jobs_in_parallel=1):
     """Run every job, across a worker pool when ``jobs_in_parallel > 1``.
 
     Returns results in job order regardless of worker scheduling, so the
-    output is invariant to the pool size.
+    output is invariant to the pool size. If the pool cannot even start
+    (sandboxes without working semaphores or fork support raise ``OSError``
+    or ``PermissionError`` from :class:`multiprocessing.Pool`), the sweep
+    degrades to in-process serial execution: cells depend only on their
+    seed, so the aggregation bytes are identical either way.
     """
     if jobs_in_parallel <= 1 or len(jobs) <= 1:
         return [_run_cell(job) for job in jobs]
     workers = min(jobs_in_parallel, len(jobs))
-    with multiprocessing.Pool(processes=workers) as pool:
+    try:
+        pool = multiprocessing.Pool(processes=workers)
+    except (OSError, PermissionError, ImportError, ValueError):
+        return [_run_cell(job) for job in jobs]
+    with pool:
         return pool.map(_run_cell, jobs)
 
 

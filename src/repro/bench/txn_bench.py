@@ -28,6 +28,7 @@ import sys
 import time
 
 from repro import fastpath
+from repro.bench.stats import wall_stats
 from repro.bench._legacy_txn import (
     LegacyHeapTable,
     LegacyRowLockTable,
@@ -214,19 +215,23 @@ def _lock_storm_legacy(workers: int, rounds: int) -> int:
 
 
 def _measure(storm, a: int, b: int, repeats: int = 3) -> dict:
-    """Best-of-``repeats`` wall-clock measurement of one storm."""
-    best = None
+    """Best-of-``repeats`` wall-clock measurement of one storm.
+
+    Headline events/sec from the best repeat; the repeat distribution
+    (p50/p95/p99 seconds) rides along under ``"wall"``.
+    """
+    samples = []
     events = 0
     for _ in range(repeats):
         started = time.perf_counter()
         events = storm(a, b)
-        elapsed = time.perf_counter() - started
-        if best is None or elapsed < best:
-            best = elapsed
+        samples.append(time.perf_counter() - started)
+    best = min(samples)
     return {
         "events": events,
         "seconds": round(best, 6),
         "events_per_sec": round(events / best, 1),
+        "wall": wall_stats(samples),
     }
 
 

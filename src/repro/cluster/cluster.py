@@ -165,8 +165,15 @@ class Cluster:
         return Session(self, node_id)
 
     def start_vacuum_daemons(self):
-        for node in self.nodes.values():
-            node.start_vacuum()
+        sim = self.sim
+        for node_id, node in self.nodes.items():
+            if sim.partitioned:
+                # Home each vacuum daemon on its node's partition so its
+                # heap scans stay inside that partition's event window.
+                with sim.partition_scope(sim.node_partition(node_id)):
+                    node.start_vacuum()
+            else:
+                node.start_vacuum()
 
     # ------------------------------------------------------------------
     # Catalog

@@ -36,13 +36,23 @@ from repro.sim.topology import LinkProfile, Topology
 _LINT_SELF = ("*/analysis/*",)
 _WALL_CLOCK_OK = (
     "*/sim/kernel.py",
+    "*/sim/partition.py",
     "*/bench/kernel_bench.py",
     "*/bench/txn_bench.py",
     "*/bench/migration_bench.py",
+    "*/bench/cluster_bench.py",
     "*/bench/sweep.py",
     "*/profiling/*",
 )
-_PROTOCOL_PATHS = ("*/txn/*", "*/migration/*", "*/cluster/*", "*/faults/*")
+# The batch workload engine is protocol-shaped generator code (dispatchers
+# and runners crossing yields), so the yield-point race rules cover it too.
+_PROTOCOL_PATHS = (
+    "*/txn/*",
+    "*/migration/*",
+    "*/cluster/*",
+    "*/faults/*",
+    "*/workloads/batch.py",
+)
 
 #: rule code -> {"include": globs, "exclude": globs} (either key optional).
 LINT_RULE_SCOPES: dict[str, dict[str, tuple[str, ...]]] = {
@@ -168,4 +178,14 @@ class ClusterConfig:
     repl_lease_interval: float = 0.05
     repl_lease_timeout: float = 0.2
     repl_ship_batch: int = 64
+    # Storm-scale workload knobs (repro.workloads.batch). The population
+    # arrival generator models ``storm_population`` clients as Poisson
+    # arrival batches drawn once per ``storm_arrival_tick`` seconds of
+    # virtual time, with at most ``storm_batch_cap`` arrivals admitted per
+    # tick (overflow is counted, never silently dropped). Centralized here —
+    # same policy as the migration batching constants above — so the storm
+    # bench, the CLI and the tests all read one source of truth.
+    storm_population: int = 10_000
+    storm_arrival_tick: float = 0.05
+    storm_batch_cap: int = 8192
     seed: int = 0

@@ -46,6 +46,21 @@ Flags
     resolved once, when the transfer is scheduled) and applied-watermark
     waiters resolve through a sorted cursor instead of a linear sweep per
     record.
+``batch_workload``
+    Population-level arrival dispatch (``repro.workloads.batch``): one
+    dispatcher process walks the shared arrival schedule and spawns
+    transaction runners, instead of one pacer process per simulated client.
+    Timeline-byte-identical to the per-client mode (arrival instants come
+    from the same RNG draws and are globally unique). Defaults **off**: it
+    swaps the driving machinery rather than a hot path inside it, so the
+    storm harness and ``repro bench --cluster`` opt in explicitly.
+``partitioned_loop``
+    Partitioned event loop (``repro.sim.partition``): the kernel heap is
+    sharded by node group and drained in conservative lookahead windows
+    bounded by the minimum inter-partition network latency. Defaults
+    **off** for the same reason as ``batch_workload`` — the storm harness
+    opts in; the equivalence suite pins its digest against the single-loop
+    run.
 """
 
 from __future__ import annotations
@@ -59,6 +74,8 @@ lock_fastpath: bool = True
 migration_scan: bool = True
 migration_pump: bool = True
 migration_replay: bool = True
+batch_workload: bool = False
+partitioned_loop: bool = False
 
 _FLAG_NAMES = (
     "clog_hints",
@@ -68,6 +85,8 @@ _FLAG_NAMES = (
     "migration_scan",
     "migration_pump",
     "migration_replay",
+    "batch_workload",
+    "partitioned_loop",
 )
 
 

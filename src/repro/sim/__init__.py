@@ -19,8 +19,9 @@ exact and runs are fully deterministic for a given seed.
 """
 
 from repro.sim.errors import Interrupt, SimulationError
-from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.events import AllOf, AnyOf, At, Event, Timeout
 from repro.sim.kernel import Simulator
+from repro.sim.partition import PartitionedSimulator, partition_lookahead, partitions_from_topology
 from repro.sim.network import BACKUP_CLASS, MIGRATION_CLASS, Network, NetworkConfig
 from repro.sim.process import Process
 from repro.sim.resources import CpuResource, Resource
@@ -37,6 +38,7 @@ from repro.sim.topology import LinkProfile, Topology, make_topology
 __all__ = [
     "AllOf",
     "AnyOf",
+    "At",
     "BACKUP_CLASS",
     "CpuResource",
     "Event",
@@ -45,6 +47,7 @@ __all__ = [
     "MIGRATION_CLASS",
     "Network",
     "NetworkConfig",
+    "PartitionedSimulator",
     "Topology",
     "Process",
     "Resource",
@@ -57,6 +60,8 @@ __all__ = [
     "Simulator",
     "Timeout",
     "make_topology",
+    "partition_lookahead",
+    "partitions_from_topology",
     "reliable_roundtrip",
     "reliable_send",
 ]

@@ -120,6 +120,26 @@ class Timeout:
         return "Timeout({})".format(self.delay)
 
 
+class At:
+    """Sleep until the *absolute* simulated instant ``time``.
+
+    Unlike ``Timeout(t - sim.now)``, the wake-up lands at exactly ``time``
+    (via :meth:`Simulator.schedule_at`) with no float round-trip through the
+    current clock. The batch workload engine leans on this: per-client and
+    batched dispatch compute the same arrival instants from the same RNG
+    draws, and ``At`` guarantees both modes wake at bit-identical times even
+    though they go to sleep from different ``now`` values.
+    """
+
+    __slots__ = ("time",)
+
+    def __init__(self, time: float) -> None:
+        self.time = time
+
+    def __repr__(self) -> str:
+        return "At({})".format(self.time)
+
+
 class AllOf:
     """Wait for every waitable in ``waitables``; yields the list of values."""
 

@@ -421,7 +421,13 @@ class Network:
             delay = self._fast_latency + size * self._inv_bandwidth
             if self.config.jitter > 0:
                 delay += self._rng.uniform(0.0, self.config.jitter)
-            sim.schedule(delay, arrived.succeed, None)
+            if sim.partitioned:
+                # Rehome the arrival on the destination's partition so the
+                # receiver's continuation runs under its own subheap (see
+                # repro.sim.partition).
+                sim.schedule_for_node(dst, delay, arrived.succeed, None)
+            else:
+                sim.schedule(delay, arrived.succeed, None)
             return arrived
         state = self._link_state(src, dst)
         if state is not None and state.partitioned:
@@ -430,7 +436,11 @@ class Network:
         if state is not None and state.loss > 0.0 and self._rng.random() < state.loss:
             self.messages_dropped += 1
             return arrived
-        sim.schedule(self.delay_for(src, dst, size), arrived.succeed, None)
+        delay = self.delay_for(src, dst, size)
+        if sim.partitioned:
+            sim.schedule_for_node(dst, delay, arrived.succeed, None)
+        else:
+            sim.schedule(delay, arrived.succeed, None)
         return arrived
 
     # ------------------------------------------------------------------

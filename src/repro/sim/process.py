@@ -1,7 +1,7 @@
 """Generator-based cooperative processes."""
 
 from repro.sim.errors import Interrupt, SimulationError
-from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.events import AllOf, AnyOf, At, Event, Timeout
 
 
 class _ProcessReturn(Exception):
@@ -138,6 +138,9 @@ class Process:
         if isinstance(target, Timeout):
             self._pending_timer = self.sim.schedule(target.delay, self._resume, None, None)
             return
+        if isinstance(target, At):
+            self._pending_timer = self.sim.schedule_at(target.time, self._resume, None, None)
+            return
         if isinstance(target, Process):
             target = target.done_event
         if isinstance(target, Event):
@@ -216,6 +219,10 @@ class Process:
         if isinstance(item, Timeout):
             event = Event(self.sim, name="timeout")
             self.sim.schedule(item.delay, event.succeed, None)
+            return event
+        if isinstance(item, At):
+            event = Event(self.sim, name="at")
+            self.sim.schedule_at(item.time, event.succeed, None)
             return event
         raise SimulationError("cannot wait on {!r}".format(item))
 

@@ -57,6 +57,33 @@ class RngStream:
     def expovariate(self, rate: float) -> float:
         return self._random.expovariate(rate)
 
+    def gauss(self, mu: float, sigma: float) -> float:
+        return self._random.gauss(mu, sigma)
+
+    def poisson(self, mean: float) -> int:
+        """Poisson-distributed count with the given ``mean``.
+
+        Exact (Knuth multiplication) for small means; for large means a
+        normal approximation keeps the draw O(1) instead of O(mean) — the
+        population arrival generator draws one of these per tick, so the
+        cost must not scale with the simulated population. Both branches
+        consume only this stream, so runs stay reproducible.
+        """
+        if mean <= 0.0:
+            return 0
+        if mean < 64.0:
+            import math
+
+            threshold = math.exp(-mean)
+            count = 0
+            product = self._random.random()
+            while product > threshold:
+                count += 1
+                product *= self._random.random()
+            return count
+        value = self._random.gauss(mean, mean ** 0.5)
+        return max(0, int(value + 0.5))
+
     def nuround(self, value: float) -> int:
         """Stochastic rounding: 2.3 becomes 3 with probability 0.3, else 2."""
         base = int(value)

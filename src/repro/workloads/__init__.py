@@ -6,9 +6,16 @@
 - :mod:`repro.workloads.tpcc` — the TPC-C workload of §4.3 (warehouse-
   collocated shards, new-order/payment/order-status/delivery/stock-level);
 - :mod:`repro.workloads.hybrid` — hybrid workloads A (batch ingestion) and B
-  (analytical duplicate check) of §4.3.
+  (analytical duplicate check) of §4.3;
+- :mod:`repro.workloads.batch` — the vectorized population workload engine
+  (storm-scale arrival batches, flag-gated by ``fastpath.batch_workload``).
 """
 
+from repro.workloads.batch import (
+    ArrivalSchedule,
+    PopulationConfig,
+    PopulationWorkload,
+)
 from repro.workloads.client import ClientPool, ClosedLoopClient, run_transaction
 from repro.workloads.ycsb import YcsbConfig, YcsbWorkload
 from repro.workloads.tpcc import TpccConfig, TpccWorkload
@@ -16,9 +23,12 @@ from repro.workloads.hybrid import AnalyticalClient, BatchIngestClient
 
 __all__ = [
     "AnalyticalClient",
+    "ArrivalSchedule",
     "BatchIngestClient",
     "ClientPool",
     "ClosedLoopClient",
+    "PopulationConfig",
+    "PopulationWorkload",
     "TpccConfig",
     "TpccWorkload",
     "YcsbConfig",

@@ -28,3 +28,17 @@ class ZipfGenerator:
         """Draw one rank using ``rng`` (an RngStream or random.Random)."""
         target = rng.random() * self._total
         return bisect.bisect_left(self._cumulative, target)
+
+    def sample_many(self, rng, count):
+        """Draw ``count`` ranks in one pass.
+
+        Equivalent draw-for-draw to calling :meth:`sample` ``count`` times
+        (the batch workload engine's equivalence tests depend on that), but
+        with the cumulative table, total and bisect resolved once — the
+        per-batch form the vectorized arrival generator uses.
+        """
+        cumulative = self._cumulative
+        total = self._total
+        search = bisect.bisect_left
+        random = rng.random
+        return [search(cumulative, random() * total) for _ in range(count)]

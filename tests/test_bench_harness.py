@@ -69,6 +69,55 @@ def test_canonical_json_is_order_insensitive():
     assert canonical_json({"b": 1, "a": [1, 2]}) == canonical_json({"a": [1, 2], "b": 1})
 
 
+def test_run_jobs_falls_back_to_serial_when_pool_cannot_start(monkeypatch):
+    """Sandboxes without semaphores/fork must degrade, not crash.
+
+    The fallback claims byte-identical aggregation — assert it: a sweep
+    whose Pool constructor raises must produce the same cell bytes as a
+    plain serial sweep.
+    """
+    import repro.bench.sweep as sweep_module
+
+    serial = run_sweep(
+        _CELLS, seeds=_SEEDS, jobs_in_parallel=1,
+        overrides_by_scenario=SMOKE_OVERRIDES,
+    )
+
+    class _BrokenPool:
+        def __init__(self, processes=None):
+            raise OSError("no usable semaphores in this sandbox")
+
+    monkeypatch.setattr(sweep_module.multiprocessing, "Pool", _BrokenPool)
+    fallback = run_sweep(
+        _CELLS, seeds=_SEEDS, jobs_in_parallel=4,
+        overrides_by_scenario=SMOKE_OVERRIDES,
+    )
+    # Runtime wall-clock differs per run; the simulated metrics may not.
+    def cell_metrics(payload):
+        return {
+            key: {"seeds": cell["seeds"], "metrics": cell["metrics"]}
+            for key, cell in payload["cells"].items()
+        }
+
+    assert canonical_json(cell_metrics(fallback)) == canonical_json(
+        cell_metrics(serial)
+    )
+
+
+def test_aggregate_reports_report_quantiles():
+    from repro.bench.stats import REPORT_QUANTILES, distribution, percentile
+    from repro.bench.sweep import _aggregate
+
+    values = [3.0, 1.0, 2.0, 10.0]
+    stats = _aggregate(values)
+    assert set(stats) == {"mean", "p5", "p50", "p95", "p99"}
+    assert stats["p50"] == percentile(values, 50) == 2.5
+    assert stats["p5"] <= stats["p50"] <= stats["p95"] <= stats["p99"]
+    assert REPORT_QUANTILES == (50, 95, 99)
+    assert set(distribution(values)) == {"p50", "p95", "p99"}
+    assert percentile([7.0], 99) == 7.0
+
+
 @pytest.mark.bench
 def test_kernel_microbench_smoke():
     """The fast kernel must hold >=1.5x over the frozen legacy kernel.
@@ -170,3 +219,38 @@ def test_network_microbench_smoke():
         assert storm["events"] == second["storms"][name]["events"]
         assert storm["events"] > 0
     assert check_against_baseline(first, first, max_regression=0.30) == []
+
+
+@pytest.mark.bench
+def test_cluster_bench_smoke():
+    """The storm bench: vectorized engine >= 5x the per-client reference.
+
+    Also asserts the batch and partitioned storms complete the identical
+    transaction population (same spec, same seed — only the driving
+    machinery differs), that wall-clock percentile columns are present,
+    and that the payload feeds the shared baseline gate.
+    """
+    from repro.bench.cluster_bench import MIN_BATCH_SPEEDUP, run_cluster_bench
+    from repro.bench.kernel_bench import check_against_baseline
+
+    payload = run_cluster_bench(smoke=True, repeats=2)
+    storms = payload["storms"]
+    batch = storms["batch_storm"]
+    partitioned = storms["partitioned_storm"]
+    assert batch["events"] == partitioned["events"] > 0
+    assert batch["committed"] == partitioned["committed"]
+    assert batch["population"] == payload["spec"]["population"]
+    assert storms["per_client_storm"]["population"] == payload["reference_population"]
+    assert batch["migration_finished_at"] is not None, (
+        "the storm must complete its in-flight migration"
+    )
+    for storm in storms.values():
+        assert set(storm["wall"]) == {"p50", "p95", "p99", "best", "repeats"}
+        assert set(storm["latency"]) == {"p50", "p95", "p99"}
+        assert storm["capped_arrivals"] == 0
+    assert payload["speedup_batch_vs_per_client"] >= MIN_BATCH_SPEEDUP, (
+        "vectorized workload engine below the {}x floor: {}x".format(
+            MIN_BATCH_SPEEDUP, payload["speedup_batch_vs_per_client"]
+        )
+    )
+    assert check_against_baseline(payload, payload, max_regression=0.30) == []
