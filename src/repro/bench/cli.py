@@ -12,9 +12,12 @@ migration in flight). With ``--baseline`` / ``--baseline-txn`` /
 events/sec against a committed baseline file — the CI smoke job fails a
 PR that regresses a hot loop by more than ``--max-regression``. The
 cluster gate additionally enforces the batch-vs-per-client speedup floor
-(:data:`repro.bench.cluster_bench.MIN_BATCH_SPEEDUP`). Every storm line
-prints the wall-clock repeat percentiles (p50/p95/p99) next to the
-best-of headline.
+(:data:`repro.bench.cluster_bench.MIN_BATCH_SPEEDUP`) and the
+parallel-drain gate: the merged multi-worker timeline digest must match
+the single-loop reference (identity smoke), and worker-count scaling must
+clear :data:`repro.bench.cluster_bench.MIN_PARALLEL_SCALING` on payloads
+that fanned out on a multi-core host. Every storm line prints the
+wall-clock repeat percentiles (p50/p95/p99) next to the best-of headline.
 
 ``repro sweep`` is the standalone fan-out: seeds x (scenario, approach)
 cells across a worker pool, with ``--verify-serial`` proving byte-identical
@@ -27,7 +30,11 @@ import json
 import os
 import sys
 
-from repro.bench.cluster_bench import MIN_BATCH_SPEEDUP, run_cluster_bench
+from repro.bench.cluster_bench import (
+    MIN_BATCH_SPEEDUP,
+    check_parallel_gate,
+    run_cluster_bench,
+)
 from repro.bench.kernel_bench import check_against_baseline, run_kernel_bench
 from repro.bench.migration_bench import run_migration_bench
 from repro.bench.network_bench import run_network_bench, run_pump_share_sweep
@@ -105,7 +112,8 @@ def add_bench_arguments(parser):
         default=None,
         help="committed BENCH_cluster.json to gate cluster storms against"
         " (implies --cluster; also enforces the batch-vs-per-client "
-        "speedup floor)",
+        "speedup floor, the parallel-drain identity smoke, and the "
+        "parallel scaling floor)",
     )
     parser.add_argument(
         "--max-regression",
@@ -225,6 +233,21 @@ def run_bench_command(args):
                 cluster["speedup_partitioned_vs_per_client"],
             )
         )
+        parallel = cluster.get("parallel")
+        if parallel:
+            print(
+                "cluster parallel drain: identity {}  digest {}  best "
+                "{:.2f}x vs 1 worker (floor {:.2f}x, {} host cpu{}, "
+                "pool {})".format(
+                    "ok" if parallel["identity_ok"] else "MISMATCH",
+                    parallel["timeline_digest"],
+                    parallel["speedup_best_vs_w1"],
+                    parallel["min_scaling"],
+                    parallel["host_cpus"],
+                    "" if parallel["host_cpus"] == 1 else "s",
+                    "used" if parallel["pool_used"] else "unavailable",
+                )
+            )
         print("wrote {}".format(cluster_path))
 
     status = 0
@@ -259,6 +282,15 @@ def run_bench_command(args):
             file=sys.stderr,
         )
         status = 1
+    if cluster is not None and args.baseline_cluster:
+        # Parallel-drain gate: identity smoke on this run, scaling floor on
+        # whichever payload (this run or the committed baseline) fanned out
+        # on a multi-core host.
+        with open(args.baseline_cluster) as handle:
+            cluster_baseline = json.load(handle)
+        for failure in check_parallel_gate(cluster, baseline=cluster_baseline):
+            print("REGRESSION {}".format(failure), file=sys.stderr)
+            status = 1
     if network is not None and not network["pump_share_sweep"]["monotonic"]:
         print(
             "REGRESSION cross_az foreground dip is no longer monotonic in "

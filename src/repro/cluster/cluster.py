@@ -416,11 +416,19 @@ class Cluster:
     # ------------------------------------------------------------------
     # Verification helpers (tests / consistency checking)
     # ------------------------------------------------------------------
-    def dump_table(self, table):
-        """Latest-committed view of a table as {key: value} (test helper)."""
+    def dump_table(self, table, shards=None):
+        """Latest-committed view of a table as {key: value} (test helper).
+
+        ``shards`` restricts the dump to those shard ids — a parallel-drain
+        worker dumps only the shards whose owner it simulated, so the union
+        across workers reassembles the full table exactly once.
+        """
         schema = self.tables[table]
         result = {}
+        wanted = None if shards is None else set(shards)
         for shard_id in schema.shard_ids():
+            if wanted is not None and shard_id not in wanted:
+                continue
             owner = self.shard_owners[shard_id]
             node = self.nodes[owner]
             heap = node.heap_for(shard_id)

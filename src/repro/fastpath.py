@@ -61,6 +61,15 @@ Flags
     **off** for the same reason as ``batch_workload`` — the storm harness
     opts in; the equivalence suite pins its digest against the single-loop
     run.
+``parallel_drain``
+    Multi-core window drain (``repro.sim.parallel``): the partitioned
+    loop's per-AZ subheaps execute on real worker processes, one replica
+    of the cluster per worker draining only the partitions it owns, with
+    cross-partition messages exchanged at window barriers. The merged
+    sorted timeline is byte-identical to the single loop (pinned digests
+    in the equivalence suite). Defaults **off**: ``repro bench --cluster``
+    opts in; when a pool cannot start, the harness falls back to the
+    serial windowed drain exactly like ``repro sweep`` does.
 """
 
 from __future__ import annotations
@@ -76,6 +85,7 @@ migration_pump: bool = True
 migration_replay: bool = True
 batch_workload: bool = False
 partitioned_loop: bool = False
+parallel_drain: bool = False
 
 _FLAG_NAMES = (
     "clog_hints",
@@ -87,6 +97,7 @@ _FLAG_NAMES = (
     "migration_replay",
     "batch_workload",
     "partitioned_loop",
+    "parallel_drain",
 )
 
 

@@ -1,0 +1,358 @@
+"""Parallel partition execution: multi-core drain of the windowed loop.
+
+:class:`ParallelSimulator` extends :class:`PartitionedSimulator` so that a
+*worker* — one OS process — executes only the partitions it **owns** (plus
+the replicated control partition), while cross-partition messages are
+buffered into per-destination **outboxes** and exchanged only at window
+barriers. ``repro bench --cluster`` fans one worker per partition group
+across a :class:`multiprocessing.Pool` and merges the per-worker timelines
+into a result byte-identical to the single-loop run (the pinned digests in
+``tests/test_fastpath_equivalence.py``).
+
+Execution model: replicated control, owned data
+-----------------------------------------------
+Every worker rebuilds the *whole* cluster deterministically from the storm
+spec — same topology, same seeds, same RNG streams — so the control
+partition (arrival dispatcher, harness processes) executes identically in
+all workers. What differs is ownership:
+
+- a runner spawned via :meth:`spawn_on_node` onto an **owned** partition
+  executes normally inside that partition's window drains;
+- a runner spawned onto a **non-owned** partition parks forever: its start
+  event sits in a subheap this worker never drains. The worker that owns
+  that partition executes it instead. Union over workers = the single
+  loop's work, exactly once each.
+
+The drain therefore restricts every scan (:meth:`_next_time`,
+:meth:`_drain_instant`, :meth:`step`, :meth:`run`) to the control subheap
+plus the owned subheaps — scanning a non-owned subheap would either stall
+the window schedule on a parked event or wrongly execute it here.
+
+Barrier outboxes
+----------------
+Inside a window, :meth:`schedule_for_node` to a partition other than the
+current one does not touch the destination subheap; the entry (with its
+sequence number assigned immediately, preserving the global ``(time, seq)``
+order of the single loop) is appended to that partition's outbox and
+flushed at the next window top. This is safe for the same reason the
+windowed drain is: a cross-partition delivery carries at least
+``lookahead`` of network latency, so its time is at or beyond the current
+window's limit and cannot execute before the barrier anyway.
+
+A destination owned by *another* worker is **reflected**: the delivery is
+executed under the current partition (same instant, same callback) and
+counted in ``drain.reflected_msgs``. Inside the partition-closed storm
+envelope (key-routed transactions, no migration, no vacuum) this never
+happens — the bench and the equivalence suite assert the counter is zero —
+but outside it reflection keeps foreign sends from deadlocking a worker
+while making the envelope violation observable.
+
+The worker shuttle (:func:`run_partition_jobs`) mirrors ``repro sweep``:
+plain picklable job dicts in, plain report dicts out, and a serial
+in-process fallback — one job owning *all* partitions, i.e. exactly the
+serial windowed drain — when the platform cannot start a pool.
+``fastpath.parallel_drain`` gates the fan-out and defaults off.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import time
+from typing import Any, Callable
+
+from repro.profiling.counters import COUNTERS
+from repro.sim.errors import SimulationError
+from repro.sim.kernel import _ARGS, _CALLBACK, _TIME, ScheduledCall, Simulator
+from repro.sim.partition import CONTROL_PARTITION, PartitionedSimulator
+from repro.sim.topology import Topology
+
+
+class DrainCounters:
+    """Per-simulator drain attribution (mirrored into the global
+    :data:`~repro.profiling.counters.COUNTERS` for ``repro profile``)."""
+
+    __slots__ = (
+        "windows",
+        "instants",
+        "barrier_msgs",
+        "barrier_exchanges",
+        "reflected_msgs",
+    )
+
+    def __init__(self) -> None:
+        self.windows = 0  # conservative windows executed
+        self.instants = 0  # degenerate single-instant merged drains
+        self.barrier_msgs = 0  # cross-partition messages buffered
+        self.barrier_exchanges = 0  # (barrier, destination) flush batches
+        self.reflected_msgs = 0  # sends to partitions owned elsewhere
+
+    def to_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class ParallelSimulator(PartitionedSimulator):
+    """A :class:`PartitionedSimulator` that drains only the partitions it
+    owns, exchanging cross-partition messages at window barriers.
+
+    With the default ownership (every partition) this is the serial
+    windowed drain routed through the barrier outboxes — the fallback mode
+    and the degenerate one-worker case are literally the same code path.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        num_partitions: int = 1,
+        lookahead: float = 0.0,
+        owned: Any = None,
+    ) -> None:
+        super().__init__(seed, num_partitions=num_partitions, lookahead=lookahead)
+        self._outboxes: list[list[ScheduledCall]] = [[] for _ in self._heaps]
+        self.drain = DrainCounters()
+        self.owned: frozenset[int] = frozenset(range(1, num_partitions + 1))
+        self._drain_order: tuple[int, ...] = ()
+        self.own(self.owned if owned is None else owned)
+
+    @classmethod
+    def for_topology(
+        cls, topology: Topology, seed: int = 0, owned: Any = None
+    ) -> "ParallelSimulator":
+        sim = super().for_topology(topology, seed)
+        assert isinstance(sim, ParallelSimulator)
+        if owned is not None:
+            sim.own(owned)
+        return sim
+
+    def own(self, pids: Any) -> None:
+        """Restrict this worker to draining partitions ``pids`` (plus the
+        control partition). Call during setup, before :meth:`run`."""
+        owned = frozenset(int(pid) for pid in pids)
+        if not owned:
+            raise SimulationError("a worker must own at least one partition")
+        bad = [pid for pid in sorted(owned) if not 1 <= pid <= self.num_partitions]
+        if bad:
+            raise SimulationError(
+                "owned partitions {} out of range 1..{}".format(
+                    bad, self.num_partitions
+                )
+            )
+        self.owned = owned
+        self._drain_order = (CONTROL_PARTITION,) + tuple(sorted(owned))
+
+    # ------------------------------------------------------------------
+    # Barrier outboxes
+    # ------------------------------------------------------------------
+    def schedule_for_node(
+        self, node: str, delay: float, callback: Callable[..., object], *args: Any
+    ) -> ScheduledCall:
+        pid = self._node_partition.get(node, CONTROL_PARTITION)
+        if pid == self._current:
+            return self.schedule(delay, callback, *args)
+        if pid in self.owned or pid == CONTROL_PARTITION:
+            # Cross-partition message to a partition this worker drains:
+            # buffer for the next barrier. The seq is assigned *now* so the
+            # merged (time, seq) order matches the single loop, where the
+            # entry would have been pushed straight into the destination.
+            if delay < 0:
+                raise SimulationError(
+                    "cannot schedule in the past (delay={})".format(delay)
+                )
+            self._seq = seq = self._seq + 1
+            entry: ScheduledCall = [self.now + delay, seq, callback, args]
+            self._outboxes[pid].append(entry)
+            self.drain.barrier_msgs += 1
+            COUNTERS.drain_barrier_msgs += 1
+            return entry
+        # Destination owned by another worker: its replica of the sender
+        # executes the same send, so the delivery happens exactly once over
+        # there. Reflect it locally (same instant, current partition) so a
+        # foreign send cannot deadlock this worker, and count it — the
+        # identity envelope requires this to stay zero.
+        self.drain.reflected_msgs += 1
+        COUNTERS.drain_reflected_msgs += 1
+        return self.schedule(delay, callback, *args)
+
+    def _flush_outboxes(self) -> None:
+        push = heapq.heappush
+        for pid, outbox in enumerate(self._outboxes):
+            if not outbox:
+                continue
+            heap = self._heaps[pid]
+            for entry in outbox:
+                push(heap, entry)
+            outbox.clear()
+            self.drain.barrier_exchanges += 1
+
+    # ------------------------------------------------------------------
+    # Execution restricted to control + owned partitions
+    # ------------------------------------------------------------------
+    def _next_time(self) -> float | None:
+        """Earliest live event among the partitions this worker drains.
+
+        Non-owned subheaps are deliberately invisible: their events belong
+        to other workers, and a parked foreign event would otherwise pin
+        ``t0`` forever without any partition able to make progress.
+        """
+        self._flush_outboxes()
+        best = None
+        pop = heapq.heappop
+        for pid in self._drain_order:
+            heap = self._heaps[pid]
+            while heap and heap[0][_CALLBACK] is None:
+                pop(heap)
+                self._cancelled -= 1
+            if heap and (best is None or heap[0][_TIME] < best):
+                best = heap[0][_TIME]
+        return best
+
+    def _drain_instant(self, boundary: float) -> None:
+        heaps = self._heaps
+        pop = heapq.heappop
+        profiler = Simulator._active_profiler
+        previous = self._current
+        executed = 0
+        try:
+            while True:
+                # Boundary callbacks may emit cross-partition sends; flush
+                # each round so a same-instant delivery joins the merged
+                # (time, seq) scan before anything later executes.
+                self._flush_outboxes()
+                best = None
+                best_pid = -1
+                for pid in self._drain_order:
+                    heap = heaps[pid]
+                    while heap and heap[0][_CALLBACK] is None:
+                        pop(heap)
+                        self._cancelled -= 1
+                    if heap:
+                        head = heap[0]
+                        if head[_TIME] <= boundary and (best is None or head < best):
+                            best = head
+                            best_pid = pid
+                if best is None:
+                    return
+                pop(heaps[best_pid])
+                self._current = best_pid
+                self.now = best[_TIME]
+                if self.now > self._max_time:
+                    self._max_time = self.now
+                executed += 1
+                if profiler is None:
+                    best[_CALLBACK](*best[_ARGS])
+                else:
+                    profiler.dispatch(best[_CALLBACK], best[_ARGS])
+        finally:
+            self._current = previous
+            self._executed += executed
+
+    def run(self, until: float | None = None) -> float:
+        lookahead = self.lookahead
+        while True:
+            t0 = self._next_time()  # flushes the barrier outboxes
+            if t0 is None or (until is not None and t0 > until):
+                break
+            limit = t0 + lookahead
+            if until is not None and limit > until:
+                limit = until
+            if limit > t0:
+                self.drain.windows += 1
+                COUNTERS.drain_windows += 1
+                for pid in self._drain_order:
+                    self._drain_window(pid, limit)
+            else:
+                self.drain.instants += 1
+                COUNTERS.drain_instants += 1
+                self._drain_instant(t0)
+                if until is not None and t0 >= until:
+                    break
+        self._flush_outboxes()
+        if self._max_time > self.now:
+            self.now = self._max_time
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    def step(self) -> bool:
+        self._flush_outboxes()
+        heaps = self._heaps
+        pop = heapq.heappop
+        profiler = Simulator._active_profiler
+        best = None
+        best_pid = -1
+        for pid in self._drain_order:
+            heap = heaps[pid]
+            while heap and heap[0][_CALLBACK] is None:
+                pop(heap)
+                self._cancelled -= 1
+            if heap:
+                head = heap[0]
+                if best is None or head < best:
+                    best = head
+                    best_pid = pid
+        if best is None:
+            return False
+        pop(heaps[best_pid])
+        previous = self._current
+        self._current = best_pid
+        try:
+            self.now = best[_TIME]
+            if self.now > self._max_time:
+                self._max_time = self.now
+            self._executed += 1
+            if profiler is None:
+                best[_CALLBACK](*best[_ARGS])
+            else:
+                profiler.dispatch(best[_CALLBACK], best[_ARGS])
+        finally:
+            self._current = previous
+        return True
+
+    @property
+    def pending_events(self) -> int:
+        queued = sum(len(heap) for heap in self._heaps)
+        queued += sum(len(outbox) for outbox in self._outboxes)
+        return queued - self._cancelled
+
+
+def deal_partitions(num_partitions: int, workers: int) -> list[list[int]]:
+    """Round-robin deal of node partitions ``1..P`` across ``workers``.
+
+    Deterministic and independent of worker scheduling; never returns an
+    empty ownership list (workers are capped at the partition count).
+    """
+    if num_partitions < 1:
+        raise ValueError("need at least one partition to deal")
+    workers = max(1, min(workers, num_partitions))
+    plan: list[list[int]] = [[] for _ in range(workers)]
+    for pid in range(1, num_partitions + 1):
+        plan[(pid - 1) % workers].append(pid)
+    return plan
+
+
+def run_partition_jobs(jobs, worker_fn, serial_job):
+    """The worker shuttle: run per-worker partition jobs on a process pool.
+
+    ``jobs`` and the reports that come back must be plain picklable dicts
+    (the same contract as ``repro sweep``). Returns
+    ``(reports, pool_used, wall_seconds)``; ``wall_seconds`` is host wall
+    clock around the whole exchange — setup, run and transport — which is
+    what worker-utilization fractions are measured against.
+
+    When the pool cannot start (sandboxes without semaphores or fork
+    support), the shuttle degrades to one in-process run of ``serial_job``
+    — a job owning *every* partition, i.e. the serial windowed drain — so
+    the merged output bytes are identical either way.
+    """
+    started = time.perf_counter()
+    if len(jobs) <= 1:
+        reports = [worker_fn(job) for job in jobs]
+        return reports, False, time.perf_counter() - started
+    try:
+        pool = multiprocessing.Pool(processes=len(jobs))
+    except (OSError, PermissionError, ImportError, ValueError):
+        reports = [worker_fn(serial_job)]
+        return reports, False, time.perf_counter() - started
+    with pool:
+        reports = pool.map(worker_fn, jobs)
+    return reports, True, time.perf_counter() - started

@@ -54,6 +54,7 @@ import heapq
 from contextlib import contextmanager
 from typing import Any, Callable
 
+from repro.profiling.counters import COUNTERS
 from repro.sim.errors import SimulationError
 from repro.sim.kernel import _ARGS, _CALLBACK, _TIME, ScheduledCall, Simulator
 from repro.sim.topology import Topology
@@ -121,6 +122,7 @@ class PartitionedSimulator(Simulator):
         # Highest dispatched event time; ``now`` rewinds inside a window as
         # the drain hops partitions, so the final clock comes from here.
         self._max_time = 0.0
+        self._executed = 0
 
     @classmethod
     def for_topology(cls, topology: Topology, seed: int = 0) -> "PartitionedSimulator":
@@ -249,6 +251,7 @@ class PartitionedSimulator(Simulator):
         profiler = Simulator._active_profiler
         previous = self._current
         self._current = pid
+        executed = 0
         try:
             while heap:
                 entry = heap[0]
@@ -264,12 +267,14 @@ class PartitionedSimulator(Simulator):
                 self.now = time
                 if time > self._max_time:
                     self._max_time = time
+                executed += 1
                 if profiler is None:
                     callback(*entry[_ARGS])
                 else:
                     profiler.dispatch(callback, entry[_ARGS])
         finally:
             self._current = previous
+            self._executed += executed
 
     def _drain_instant(self, boundary: float) -> None:
         """Run every event with time <= ``boundary`` in *global* (time, seq)
@@ -279,6 +284,7 @@ class PartitionedSimulator(Simulator):
         pop = heapq.heappop
         profiler = Simulator._active_profiler
         previous = self._current
+        executed = 0
         try:
             while True:
                 best = None
@@ -299,12 +305,14 @@ class PartitionedSimulator(Simulator):
                 self.now = best[_TIME]
                 if self.now > self._max_time:
                     self._max_time = self.now
+                executed += 1
                 if profiler is None:
                     best[_CALLBACK](*best[_ARGS])
                 else:
                     profiler.dispatch(best[_CALLBACK], best[_ARGS])
         finally:
             self._current = previous
+            self._executed += executed
 
     def run(self, until: float | None = None) -> float:
         """Windowed conservative drain (see module docstring).
@@ -323,11 +331,13 @@ class PartitionedSimulator(Simulator):
             if until is not None and limit > until:
                 limit = until
             if limit > t0:
+                COUNTERS.drain_windows += 1
                 for pid in range(len(heaps)):
                     self._drain_window(pid, limit)
             else:
                 # Degenerate window (zero lookahead, or t0 == until): run
                 # this single instant in merged global order and rescan.
+                COUNTERS.drain_instants += 1
                 self._drain_instant(t0)
                 if until is not None and t0 >= until:
                     break
@@ -366,6 +376,7 @@ class PartitionedSimulator(Simulator):
             self.now = best[_TIME]
             if self.now > self._max_time:
                 self._max_time = self.now
+            self._executed += 1
             if profiler is None:
                 best[_CALLBACK](*best[_ARGS])
             else:
@@ -377,3 +388,10 @@ class PartitionedSimulator(Simulator):
     @property
     def pending_events(self) -> int:
         return sum(len(heap) for heap in self._heaps) - self._cancelled
+
+    @property
+    def events_drained(self) -> int:
+        """Events this simulator actually executed (cancelled entries and
+        events parked in subheaps it never drains are excluded) — the
+        per-worker denominator for window-rate reporting."""
+        return self._executed

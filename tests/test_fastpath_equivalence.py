@@ -257,3 +257,100 @@ def test_partitioned_loop_timeline_identical_sorted(seed):
         "pinned storm digest drifted at seed {}: {} (re-pin only after "
         "verifying partitioned == single-loop)".format(seed, digest)
     )
+
+
+# ----------------------------------------------------------------------
+# Parallel window drain (fastpath.parallel_drain / repro.sim.parallel)
+# ----------------------------------------------------------------------
+from dataclasses import replace  # noqa: E402
+
+from repro.bench.cluster_bench import (  # noqa: E402
+    StormSpec,
+    run_parallel_storm,
+    run_storm,
+    timeline_digest,
+)
+
+#: The partition-closed storm the parallel drain must replay byte-for-byte:
+#: key-routed coordinators (single-node transactions), no migration, three
+#: AZ partitions so a two-worker fan-out gives one worker a multi-partition
+#: ownership set ({1, 3} vs {2}).
+_PARALLEL_SPEC = StormSpec(
+    name="storm_equiv_parallel",
+    num_nodes=6,
+    num_groups=3,
+    population=240,
+    rate_per_client=0.1,
+    duration=5.0,
+    tick=0.05,
+    batch_cap=64,
+    num_tuples=240,
+    num_shards=12,
+    read_ratio=0.5,
+    zipf_theta=0.99,
+    drift_keys_per_sec=10.0,
+    ramps=((0.0, 1.0), (3.0, 1.0), (4.0, 2.5)),
+    migrate_shards=0,
+    migrate_at=0.0,
+    seed=0,
+    route_by_key=True,
+)
+
+#: Pinned digests of the merged parallel identity payload (== the
+#: single-loop batch run's, asserted below). Re-pin only after verifying
+#: the parallel and single-loop payloads still match each other.
+_PARALLEL_DIGESTS = {
+    0: "8ac5df2b81279b7d",
+    1: "c524bb4fcbf52406",
+    2: "f3f599ee084bbb6c",
+}
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_parallel_drain_timeline_identical_to_single_loop(seed):
+    """Multi-worker window drain == single loop, payload- and digest-wise."""
+    spec = replace(_PARALLEL_SPEC, seed=seed)
+    reference = run_storm(spec, "batch", collect_identity=True)["identity"]
+    assert reference["dispatched"] > 50  # the storm actually stormed
+    with fastpath.overridden(parallel_drain=True):
+        merged = run_parallel_storm(spec, workers=2)
+    identity = merged["identity"]
+    assert canonical_json(identity) == canonical_json(reference), (
+        "parallel drain changed the merged timeline at seed {}".format(seed)
+    )
+    # The envelope held: no worker sent into a partition owned elsewhere.
+    assert merged["reflected_msgs"] == 0
+    digest = timeline_digest(identity)
+    assert digest == _PARALLEL_DIGESTS[seed], (
+        "pinned parallel storm digest drifted at seed {}: {} (re-pin only "
+        "after verifying parallel == single-loop)".format(seed, digest)
+    )
+
+
+def test_parallel_drain_defaults_off():
+    """With the flag at its default, no pool is used — the storm runs as
+    one in-process job owning every partition (the serial windowed drain)
+    and still reproduces the pinned timeline."""
+    assert fastpath.parallel_drain is False
+    merged = run_parallel_storm(_PARALLEL_SPEC, workers=4)
+    assert merged["pool_used"] is False
+    assert merged["workers"] == 1
+    assert timeline_digest(merged["identity"]) == _PARALLEL_DIGESTS[0]
+
+
+def test_parallel_drain_serial_fallback_when_pool_unavailable(monkeypatch):
+    """When the pool cannot start (sandboxed runners), the shuttle degrades
+    to the serial windowed drain with byte-identical output — the same
+    contract as the seed-sweep fallback."""
+    import repro.sim.parallel as parallel_mod
+
+    class _NoPool:
+        @staticmethod
+        def Pool(*args, **kwargs):
+            raise OSError("semaphores unavailable")
+
+    monkeypatch.setattr(parallel_mod, "multiprocessing", _NoPool)
+    with fastpath.overridden(parallel_drain=True):
+        merged = run_parallel_storm(_PARALLEL_SPEC, workers=2)
+    assert merged["pool_used"] is False
+    assert timeline_digest(merged["identity"]) == _PARALLEL_DIGESTS[0]
